@@ -1,0 +1,128 @@
+"""Figure 3: marshal throughput.
+
+Paper: "Flick-generated marshal code is between 2 and 5 times faster for
+small messages and between 5 and 17 times faster for large messages"
+(versus rpcgen, PowerRPC, ILU, ORBeline).  Integer arrays marshal faster
+than structure arrays because the memcpy/batched-copy optimization applies
+only to arrays of atomic types.
+
+This module regenerates the figure's series: three workloads (integer
+arrays, rectangle arrays, directory entries) across message sizes, for
+Flick and the four comparators.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    compiled,
+    fmt,
+    measure_marshal,
+    print_table,
+    record_prefix,
+    workload_args,
+)
+
+COMPILERS = ("flick-xdr", "rpcgen", "powerrpc", "orbeline", "ilu")
+
+INT_SIZES = (64, 1024, 16384, 262144, 1048576)
+RECT_SIZES = (64, 1024, 16384, 262144)
+DIR_SIZES = (256, 4096, 65536, 262144)
+
+
+def _series(workload, sizes, budget):
+    rows = []
+    data = {}
+    for size in sizes:
+        row = [str(size)]
+        for name in COMPILERS:
+            _result, module = compiled(name)
+            args = workload_args(module, workload, size,
+                                 record_prefix(name))
+            mbps, _message = measure_marshal(
+                module, workload, args, budget=budget
+            )
+            data[(name, size)] = mbps
+            row.append(fmt(mbps))
+        rows.append(row)
+    return rows, data
+
+
+class TestFigure3:
+    @pytest.mark.parametrize("workload,sizes", [
+        ("ints", INT_SIZES),
+        ("rects", RECT_SIZES),
+        ("dirents", DIR_SIZES),
+    ])
+    def test_series(self, benchmark, workload, sizes):
+        def run():
+            return _series(workload, sizes, budget=0.03)
+
+        rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "Figure 3 (%s): marshal throughput, MB/s" % workload,
+            ("bytes",) + COMPILERS,
+            rows,
+        )
+        # Shape assertions: Flick wins against every comparator at every
+        # size, and by a large factor on big messages.  The big-message
+        # factor is largest for integer arrays (where bulk copying
+        # applies), smaller for structure arrays — both as in the paper.
+        for size in sizes:
+            flick = data[("flick-xdr", size)]
+            for name in COMPILERS[1:]:
+                ratio = flick / data[(name, size)]
+                assert ratio > 1.3, (workload, size, name, ratio)
+        largest = sizes[-1]
+        big_ratio = data[("flick-xdr", largest)] / data[("rpcgen", largest)]
+        assert big_ratio > (4.0 if workload == "ints" else 2.0), (
+            workload, big_ratio,
+        )
+
+    def test_int_arrays_faster_than_struct_arrays(self, benchmark):
+        """The paper: Flick processes integer arrays more quickly than
+        structure arrays because memcpy applies only to atomic arrays."""
+        def run():
+            _res, module = compiled("flick-xdr")
+            ints, _ = measure_marshal(
+                module, "ints",
+                workload_args(module, "ints", 65536, ""), budget=0.05,
+            )
+            rects, _ = measure_marshal(
+                module, "rects",
+                workload_args(module, "rects", 65536, ""), budget=0.05,
+            )
+            return ints, rects
+
+        ints, rects = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert ints > rects
+
+    def test_headline_marshal_point(self, benchmark):
+        """The pytest-benchmark row for the headline point: Flick
+        marshaling a 64KB integer array."""
+        _res, module = compiled("flick-xdr")
+        args = workload_args(module, "ints", 65536, "")
+        from repro.encoding import MarshalBuffer
+
+        buffer = MarshalBuffer()
+
+        def run():
+            buffer.reset()
+            module._m_req_ints(buffer, 1, *args)
+
+        benchmark(run)
+
+    @pytest.mark.parametrize("name", COMPILERS)
+    def test_compiler_1k_ints(self, benchmark, name):
+        """Comparable pytest-benchmark rows: 1KB integer array."""
+        _res, module = compiled(name)
+        args = workload_args(module, "ints", 1024, record_prefix(name))
+        from repro.encoding import MarshalBuffer
+
+        buffer = MarshalBuffer()
+        marshal = getattr(module, "_m_req_ints")
+
+        def run():
+            buffer.reset()
+            marshal(buffer, 1, *args)
+
+        benchmark(run)

@@ -1,0 +1,62 @@
+"""Figure 4: end-to-end throughput across 10 Mbps Ethernet.
+
+Paper: "the maximum end-to-end throughput of all the compilers' stubs is
+approximately 6-7.5 Mbps when communicating across a 10Mbps Ethernet.
+Flick's optimizations have relatively little impact on overall
+throughput" — the slow wire is the bottleneck for everyone.
+"""
+
+import pytest
+
+from repro.runtime import ETHERNET_10
+
+from benchmarks.harness import (
+    client_class_name,
+    compiled,
+    fmt,
+    measure_end_to_end,
+    print_table,
+    record_prefix,
+    workload_args,
+)
+
+COMPILERS = ("flick-xdr", "rpcgen", "powerrpc")
+SIZES = (64, 1024, 16384, 262144)
+
+
+def run_series(budget=0.03):
+    rows = []
+    data = {}
+    for size in SIZES:
+        row = [str(size)]
+        for name in COMPILERS:
+            _result, module = compiled(name)
+            args = workload_args(module, "ints", size, record_prefix(name))
+            mbps = measure_end_to_end(
+                module, client_class_name(name), "ints", args,
+                ETHERNET_10, size, budget=budget,
+            )
+            data[(name, size)] = mbps
+            row.append(fmt(mbps))
+        rows.append(row)
+    return rows, data
+
+
+class TestFigure4:
+    def test_series(self, benchmark):
+        rows, data = benchmark.pedantic(run_series, rounds=1, iterations=1)
+        print_table(
+            "Figure 4: end-to-end over 10Mbps Ethernet (int arrays), Mbit/s",
+            ("bytes",) + COMPILERS,
+            rows,
+        )
+        # Everyone is wire-limited: below the 7.5 Mbps effective cap...
+        for (name, size), mbps in data.items():
+            assert mbps < 7.6, (name, size, mbps)
+        # ...and at large sizes all compilers converge near the cap:
+        # marshal quality has little impact (the paper's observation).
+        largest = SIZES[-1]
+        flick = data[("flick-xdr", largest)]
+        rpcgen = data[("rpcgen", largest)]
+        assert flick > 5.0
+        assert flick / rpcgen < 2.0

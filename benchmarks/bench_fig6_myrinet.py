@@ -1,0 +1,83 @@
+"""Figure 6: end-to-end throughput across 640 Mbps Myrinet.
+
+Paper: Flick gains "factors of 3.7 for large Myrinet messages"; rpcgen and
+PowerRPC throughput is "essentially unchanged across the two fast
+networks", because their bottleneck is marshaling, not the wire.  The
+effective Myrinet bandwidth after the 1997 protocol stack was only 84.5
+Mbps (ttcp), which the link model reproduces.
+"""
+
+import pytest
+
+from repro.runtime import ETHERNET_100, MYRINET_640
+
+from benchmarks.harness import (
+    client_class_name,
+    compiled,
+    fmt,
+    measure_end_to_end,
+    print_table,
+    record_prefix,
+    workload_args,
+)
+
+COMPILERS = ("flick-xdr", "rpcgen", "powerrpc")
+SIZES = (1024, 16384, 262144, 1048576)
+
+
+def run_series(budget=0.03):
+    rows = []
+    data = {}
+    for size in SIZES:
+        row = [str(size)]
+        for name in COMPILERS:
+            _result, module = compiled(name)
+            args = workload_args(module, "ints", size, record_prefix(name))
+            mbps = measure_end_to_end(
+                module, client_class_name(name), "ints", args,
+                MYRINET_640, size, budget=budget,
+            )
+            data[(name, size)] = mbps
+            row.append(fmt(mbps))
+        rows.append(row)
+    return rows, data
+
+
+class TestFigure6:
+    def test_series(self, benchmark):
+        rows, data = benchmark.pedantic(run_series, rounds=1, iterations=1)
+        print_table(
+            "Figure 6: end-to-end over 640Mbps Myrinet (int arrays),"
+            " Mbit/s",
+            ("bytes",) + COMPILERS,
+            rows,
+        )
+        largest = SIZES[-1]
+        assert (
+            data[("flick-xdr", largest)] / data[("rpcgen", largest)] > 2.5
+        )
+
+    def test_rpcgen_flat_across_fast_links(self, benchmark):
+        """The paper: rpcgen/PowerRPC did not benefit from the faster
+        Myrinet link — marshal-bound stubs cannot use the extra
+        bandwidth."""
+        def run():
+            out = {}
+            for name in ("flick-xdr", "rpcgen"):
+                _result, module = compiled(name)
+                args = workload_args(module, "ints", 1048576,
+                                     record_prefix(name))
+                for link_name, link in (
+                    ("eth100", ETHERNET_100), ("myrinet", MYRINET_640),
+                ):
+                    out[(name, link_name)] = measure_end_to_end(
+                        module, client_class_name(name), "ints", args,
+                        link, 1048576, budget=0.03,
+                    )
+            return out
+
+        out = benchmark.pedantic(run, rounds=1, iterations=1)
+        rpcgen_change = (
+            out[("rpcgen", "myrinet")] / out[("rpcgen", "eth100")]
+        )
+        assert 0.7 < rpcgen_change < 1.35  # essentially unchanged

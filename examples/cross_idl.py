@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Flexibility demo: one service, two IDLs, four transports.
+
+The paper's central flexibility claim: Flick "supports multiple IDLs,
+diverse data encodings, multiple transport mechanisms" by composing
+independent front ends, presentation generators, and back ends.  This
+example defines the *same* telemetry contract in CORBA IDL and in ONC RPC
+IDL, compiles every combination, shows that the two IDLs produce
+byte-identical XDR messages, and runs the service over all four message
+formats.
+"""
+
+from repro import Flick
+from repro.encoding import MarshalBuffer
+from repro.runtime import LoopbackTransport
+
+CORBA_IDL = """
+module Tele {
+  struct Sample { long sensor; double value; };
+  typedef sequence<Sample> Samples;
+  interface Collector {
+    long push(in Samples batch);
+    double mean(in long sensor);
+  };
+};
+"""
+
+ONC_IDL = """
+struct sample { int sensor; double value; };
+typedef sample samples<>;
+program TELE {
+  version COLLECTOR {
+    int push(samples) = 1;
+    double mean(int) = 2;
+  } = 1;
+} = 0x20000200;
+"""
+
+
+def servant_for(module, servant_base):
+    class Collector(servant_base):
+        def __init__(self):
+            self.samples = []
+
+        def push(self, batch):
+            from repro.pres.values import get_field
+
+            for sample in batch:
+                self.samples.append(
+                    (get_field(sample, "sensor"), get_field(sample, "value"))
+                )
+            return len(self.samples)
+
+        def mean(self, sensor):
+            values = [v for s, v in self.samples if s == sensor]
+            return sum(values) / len(values) if values else 0.0
+
+    return Collector()
+
+
+def run_service(module, client_class, servant_class, sample_class, label):
+    servant = servant_for(module, servant_class)
+    client = client_class(LoopbackTransport(module.dispatch, servant))
+    batch = [sample_class(1, 20.0), sample_class(1, 22.0),
+             sample_class(2, 99.5)]
+    total = client.push(batch)
+    mean = client.mean(1)
+    assert total == 3 and mean == 21.0
+    print("  %-28s push->%d  mean(1)->%.1f" % (label, total, mean))
+
+
+def main():
+    print("Same contract through every pipeline combination:")
+
+    # CORBA IDL through all four back ends.
+    for backend in ("iiop", "oncrpc-xdr", "mach3", "fluke"):
+        result = Flick(frontend="corba", backend=backend).compile(CORBA_IDL)
+        module = result.load_module()
+        run_service(
+            module,
+            module.Tele_CollectorClient,
+            module.Tele_CollectorServant,
+            module.Tele_Sample,
+            "CORBA IDL -> %s" % backend,
+        )
+
+    # ONC RPC IDL through its natural and foreign back ends.
+    for backend in ("oncrpc-xdr", "fluke"):
+        result = Flick(frontend="oncrpc", backend=backend).compile(ONC_IDL)
+        module = result.load_module()
+        run_service(
+            module,
+            module.TELE_COLLECTORClient,
+            module.TELE_COLLECTORServant,
+            module.sample,
+            "ONC IDL   -> %s" % backend,
+        )
+
+    # The wire bytes are identical across source IDLs: the presentation
+    # differs (names, records), the network contract does not.
+    corba = Flick(frontend="corba", backend="oncrpc-xdr").compile(CORBA_IDL)
+    onc = Flick(frontend="oncrpc").compile(ONC_IDL)
+    corba_module, onc_module = corba.load_module(), onc.load_module()
+    corba_buffer, onc_buffer = MarshalBuffer(), MarshalBuffer()
+    corba_module._m_req_push(
+        corba_buffer, 7, [corba_module.Tele_Sample(3, 1.5)]
+    )
+    onc_module._m_req_push(onc_buffer, 7, [onc_module.sample(3, 1.5)])
+    corba_body = corba_buffer.getvalue()[40:]
+    onc_body = onc_buffer.getvalue()[40:]
+    assert corba_body == onc_body
+    print("\nXDR request bodies from the two IDLs are byte-identical:")
+    print("  ", corba_body.hex())
+    print("\ncross-IDL flexibility OK")
+
+
+if __name__ == "__main__":
+    main()

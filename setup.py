@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by pyproject.toml; this file exists so
+that `python setup.py develop` and legacy editable installs work on
+environments without the `wheel` package (pip's PEP 660 editable path
+needs it).
+"""
+
+from setuptools import setup
+
+setup()

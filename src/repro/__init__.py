@@ -1,0 +1,71 @@
+"""Flick: a flexible, optimizing IDL compiler — PLDI 1997 reproduction.
+
+Flick (Eide, Frei, Ford, Lepreau, Lindstrom; University of Utah) treats
+interface definition languages as true programming languages: multiple
+front ends (CORBA IDL, ONC RPC, MIG) lower to carefully chosen intermediate
+representations (AOI, MINT, CAST, PRES/PRES_C), and optimizing back ends
+(IIOP/CDR, ONC/XDR, Mach 3 typed messages, Fluke IPC) generate stubs that
+marshal data several times faster than traditional IDL compilers.
+
+Quick start::
+
+    from repro import Flick
+    from repro.runtime import LoopbackTransport
+
+    IDL = '''
+    interface Mail {
+        void send(in string msg);
+    };
+    '''
+
+    result = Flick(frontend="corba", backend="iiop").compile(IDL)
+    module = result.load_module()
+
+    class MailImpl(module.MailServant):
+        def send(self, msg):
+            print("got:", msg)
+
+    client = module.MailClient(
+        LoopbackTransport(module.dispatch, MailImpl()))
+    client.send("hello, world")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
+of the paper's tables and figures.
+"""
+
+from repro.core import CompileResult, Flick, OptFlags
+from repro.errors import (
+    AoiValidationError,
+    BackEndError,
+    DispatchError,
+    FlickError,
+    FlickUserException,
+    IdlSemanticError,
+    IdlSyntaxError,
+    MarshalError,
+    PresentationError,
+    RuntimeFlickError,
+    TransportError,
+    UnmarshalError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AoiValidationError",
+    "BackEndError",
+    "CompileResult",
+    "DispatchError",
+    "Flick",
+    "FlickError",
+    "FlickUserException",
+    "IdlSemanticError",
+    "IdlSyntaxError",
+    "MarshalError",
+    "OptFlags",
+    "PresentationError",
+    "RuntimeFlickError",
+    "TransportError",
+    "UnmarshalError",
+    "__version__",
+]

@@ -1,0 +1,294 @@
+"""AOI validation.
+
+Front ends are expected to produce well-formed AOI, but the checks here are
+the contract the rest of the pipeline relies on: every named reference
+resolves; fixed array lengths are positive; union discriminators are
+integral-ish and case labels are unique and in range; recursive types recur
+only through :class:`AoiOptional` or :class:`AoiSequence` (otherwise they
+would denote infinitely large values); operation request codes within an
+interface are unique.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AoiValidationError
+from repro.aoi.types import (
+    AoiArray,
+    AoiBoolean,
+    AoiChar,
+    AoiEnum,
+    AoiFloat,
+    AoiInteger,
+    AoiNamedRef,
+    AoiOctet,
+    AoiOptional,
+    AoiSequence,
+    AoiString,
+    AoiStruct,
+    AoiUnion,
+    AoiVoid,
+)
+
+
+def validate(root):
+    """Validate *root* (an :class:`AoiRoot`); raise AoiValidationError."""
+    checker = _Checker(root)
+    for name, aoi_type in root.types.items():
+        checker.check_type(aoi_type, via_indirection=False, context=name)
+    for exception in root.exceptions.values():
+        for exc_field in exception.fields:
+            checker.check_type(
+                exc_field.type, via_indirection=True,
+                context="%s.%s" % (exception.name, exc_field.name),
+            )
+    for interface in root.interfaces:
+        checker.check_interface(interface)
+    return root
+
+
+class _Checker:
+    def __init__(self, root):
+        self.root = root
+        # Names currently on the walk stack, used for recursion detection.
+        self._walking = []
+
+    # ------------------------------------------------------------------
+
+    def check_interface(self, interface):
+        seen_names = set()
+        seen_codes = set()
+        for operation in interface.operations:
+            if operation.name in seen_names:
+                raise AoiValidationError(
+                    "duplicate operation %r in interface %r"
+                    % (operation.name, interface.name)
+                )
+            seen_names.add(operation.name)
+            if operation.request_code is not None:
+                if operation.request_code in seen_codes:
+                    raise AoiValidationError(
+                        "duplicate request code %r in interface %r"
+                        % (operation.request_code, interface.name)
+                    )
+                seen_codes.add(operation.request_code)
+            self.check_operation(interface, operation)
+        for attribute in interface.attributes:
+            if attribute.name in seen_names:
+                raise AoiValidationError(
+                    "attribute %r collides with an operation in %r"
+                    % (attribute.name, interface.name)
+                )
+            seen_names.add(attribute.name)
+            self.check_type(
+                attribute.type, via_indirection=True,
+                context="%s::%s" % (interface.name, attribute.name),
+            )
+        for parent in interface.parents:
+            try:
+                self.root.interface_named(parent)
+            except KeyError:
+                raise AoiValidationError(
+                    "interface %r inherits from undefined %r"
+                    % (interface.name, parent)
+                ) from None
+
+    def check_operation(self, interface, operation):
+        context = "%s::%s" % (interface.name, operation.name)
+        param_names = set()
+        for parameter in operation.parameters:
+            if parameter.name in param_names:
+                raise AoiValidationError(
+                    "duplicate parameter %r in %s" % (parameter.name, context)
+                )
+            param_names.add(parameter.name)
+            self.check_type(
+                parameter.type, via_indirection=True,
+                context="%s(%s)" % (context, parameter.name),
+            )
+            if isinstance(self.root.resolve(parameter.type), AoiVoid):
+                raise AoiValidationError(
+                    "parameter %r of %s has void type"
+                    % (parameter.name, context)
+                )
+        self.check_type(
+            operation.return_type, via_indirection=True, context=context
+        )
+        if operation.oneway:
+            if operation.out_parameters():
+                raise AoiValidationError(
+                    "oneway operation %s has out parameters" % context
+                )
+            if not isinstance(self.root.resolve(operation.return_type), AoiVoid):
+                raise AoiValidationError(
+                    "oneway operation %s has a return value" % context
+                )
+        for exc_name in operation.raises:
+            if exc_name not in self.root.exceptions:
+                raise AoiValidationError(
+                    "%s raises undefined exception %r" % (context, exc_name)
+                )
+
+    # ------------------------------------------------------------------
+
+    def check_type(self, aoi_type, via_indirection, context):
+        """Walk *aoi_type*, validating structure and recursion shape.
+
+        ``via_indirection`` is true when the walk has passed through a node
+        that breaks the size recursion (sequence/optional/string), which is
+        what makes a back-reference legal.
+        """
+        if isinstance(aoi_type, AoiNamedRef):
+            if aoi_type.name in self._walking:
+                if not via_indirection:
+                    raise AoiValidationError(
+                        "type %r recurs without indirection (infinite size),"
+                        " found at %s" % (aoi_type.name, context)
+                    )
+                return  # legal recursion; stop the walk here
+            resolved = self.root.types.get(aoi_type.name)
+            if resolved is None:
+                raise AoiValidationError(
+                    "undefined type %r referenced at %s"
+                    % (aoi_type.name, context)
+                )
+            self._walking.append(aoi_type.name)
+            try:
+                self.check_type(resolved, via_indirection, context)
+            finally:
+                self._walking.pop()
+            return
+        if isinstance(aoi_type, AoiInteger):
+            if aoi_type.bits not in (8, 16, 32, 64):
+                raise AoiValidationError(
+                    "unsupported integer width %d at %s"
+                    % (aoi_type.bits, context)
+                )
+            return
+        if isinstance(aoi_type, AoiFloat):
+            if aoi_type.bits not in (32, 64):
+                raise AoiValidationError(
+                    "unsupported float width %d at %s"
+                    % (aoi_type.bits, context)
+                )
+            return
+        if isinstance(aoi_type, (AoiChar, AoiBoolean, AoiOctet, AoiVoid)):
+            return
+        if isinstance(aoi_type, AoiString):
+            if aoi_type.bound is not None and aoi_type.bound <= 0:
+                raise AoiValidationError(
+                    "non-positive string bound at %s" % context
+                )
+            return
+        if isinstance(aoi_type, AoiEnum):
+            if not aoi_type.members:
+                raise AoiValidationError("empty enum %r" % aoi_type.name)
+            names = [m[0] for m in aoi_type.members]
+            values = [m[1] for m in aoi_type.members]
+            if len(set(names)) != len(names):
+                raise AoiValidationError(
+                    "duplicate member names in enum %r" % aoi_type.name
+                )
+            if len(set(values)) != len(values):
+                raise AoiValidationError(
+                    "duplicate member values in enum %r" % aoi_type.name
+                )
+            return
+        if isinstance(aoi_type, AoiArray):
+            if aoi_type.length <= 0:
+                raise AoiValidationError(
+                    "non-positive array length at %s" % context
+                )
+            self.check_type(aoi_type.element, via_indirection, context)
+            return
+        if isinstance(aoi_type, AoiSequence):
+            if aoi_type.bound is not None and aoi_type.bound <= 0:
+                raise AoiValidationError(
+                    "non-positive sequence bound at %s" % context
+                )
+            self.check_type(aoi_type.element, True, context)
+            return
+        if isinstance(aoi_type, AoiOptional):
+            self.check_type(aoi_type.element, True, context)
+            return
+        if isinstance(aoi_type, AoiStruct):
+            if not aoi_type.fields:
+                raise AoiValidationError("empty struct %r" % aoi_type.name)
+            seen = set()
+            for struct_field in aoi_type.fields:
+                if struct_field.name in seen:
+                    raise AoiValidationError(
+                        "duplicate field %r in struct %r"
+                        % (struct_field.name, aoi_type.name)
+                    )
+                seen.add(struct_field.name)
+                self.check_type(
+                    struct_field.type, via_indirection,
+                    "%s.%s" % (aoi_type.name, struct_field.name),
+                )
+            return
+        if isinstance(aoi_type, AoiUnion):
+            self._check_union(aoi_type, via_indirection, context)
+            return
+        raise AoiValidationError(
+            "unknown AOI node %r at %s" % (type(aoi_type).__name__, context)
+        )
+
+    def _check_union(self, union, via_indirection, context):
+        discriminator = self.root.resolve(union.discriminator)
+        if not isinstance(discriminator, (AoiInteger, AoiEnum, AoiBoolean, AoiChar)):
+            raise AoiValidationError(
+                "union %r discriminator must be integral, enum, boolean or"
+                " char" % union.name
+            )
+        if not union.cases:
+            raise AoiValidationError("union %r has no cases" % union.name)
+        seen_labels = set()
+        defaults = 0
+        for case in union.cases:
+            if case.is_default:
+                defaults += 1
+                if defaults > 1:
+                    raise AoiValidationError(
+                        "union %r has multiple default cases" % union.name
+                    )
+            for label in case.labels:
+                if label in seen_labels:
+                    raise AoiValidationError(
+                        "duplicate case label %r in union %r"
+                        % (label, union.name)
+                    )
+                seen_labels.add(label)
+                self._check_label_in_range(union, discriminator, label)
+            self.check_type(
+                case.type, via_indirection,
+                "%s.%s" % (union.name, case.name),
+            )
+
+    def _check_label_in_range(self, union, discriminator, label):
+        if isinstance(discriminator, AoiInteger):
+            lo, hi = discriminator.range()
+            if not (isinstance(label, int) and lo <= label <= hi):
+                raise AoiValidationError(
+                    "label %r out of discriminator range in union %r"
+                    % (label, union.name)
+                )
+        elif isinstance(discriminator, AoiEnum):
+            values = {value for _, value in discriminator.members}
+            names = {name for name, _ in discriminator.members}
+            if label not in values and label not in names:
+                raise AoiValidationError(
+                    "label %r is not a member of enum %r in union %r"
+                    % (label, discriminator.name, union.name)
+                )
+        elif isinstance(discriminator, AoiBoolean):
+            if not isinstance(label, bool):
+                raise AoiValidationError(
+                    "label %r is not boolean in union %r"
+                    % (label, union.name)
+                )
+        elif isinstance(discriminator, AoiChar):
+            if not (isinstance(label, str) and len(label) == 1):
+                raise AoiValidationError(
+                    "label %r is not a character in union %r"
+                    % (label, union.name)
+                )

@@ -1,0 +1,111 @@
+"""The ONC RPC / XDR back end.
+
+Messages follow RFC 1831: a call header (xid, message type CALL, RPC
+version 2, program, version, procedure, null credentials and verifier)
+followed by the XDR-encoded arguments, and a reply header (xid, REPLY,
+MSG_ACCEPTED, null verifier, SUCCESS) followed by the XDR-encoded result.
+The header is a 40-byte (24-byte for replies) constant template per
+operation with the xid patched in.  TCP record marking is the transport's
+job (:mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.backend.base import HeaderSpec, OptimizingBackEnd
+from repro.encoding import XDR
+
+#: Fallback program/version when an interface has no ONC code (e.g. an
+#: interface that came from CORBA IDL but is deployed over ONC RPC).
+DEFAULT_PROGRAM = 0x20000000
+DEFAULT_VERSION = 1
+
+CALL = 0
+REPLY = 1
+RPC_VERSION = 2
+
+
+def interface_program(presc):
+    """The (program, version) pair identifying *presc* on the wire."""
+    code = presc.interface_code
+    if isinstance(code, tuple) and len(code) == 2:
+        return code
+    return (DEFAULT_PROGRAM, DEFAULT_VERSION)
+
+
+def operation_number(presc, stub):
+    """The procedure number for *stub* (declared, or position-derived)."""
+    if isinstance(stub.request_code, int):
+        return stub.request_code
+    for index, other in enumerate(presc.stubs, 1):
+        if other is stub:
+            return index
+    raise KeyError(stub.operation_name)
+
+
+class OncXdrBackEnd(OptimizingBackEnd):
+    """ONC RPC messages in XDR over stream or datagram transports."""
+
+    name = "oncrpc-xdr"
+    wire_format = XDR
+
+    def request_header(self, presc, stub):
+        program, version = interface_program(presc)
+        template = struct.pack(
+            ">IIIIIIIIII",
+            0,                              # xid (patched)
+            CALL,
+            RPC_VERSION,
+            program,
+            version,
+            operation_number(presc, stub),
+            0, 0,                           # null credentials
+            0, 0,                           # null verifier
+        )
+        return HeaderSpec(template, patches=((0, ">I", "_ctx"),))
+
+    def reply_header(self, presc, stub):
+        template = struct.pack(
+            ">IIIIII",
+            0,                              # xid (patched)
+            REPLY,
+            0,                              # MSG_ACCEPTED
+            0, 0,                           # null verifier
+            0,                              # accept_stat SUCCESS
+        )
+        return HeaderSpec(template, patches=((0, ">I", "_ctx"),))
+
+    def demux_key(self, presc, stub):
+        return operation_number(presc, stub)
+
+    def emit_dispatch_prelude(self, w, presc):
+        program, version = interface_program(presc)
+        w.line("(_xid, _mt, _rv, _prog, _vers, _key) = "
+               "_unpack_from('>IIIIII', d, 0)")
+        w.line("if _mt != %d or _rv != %d:" % (CALL, RPC_VERSION))
+        w.indent()
+        w.line("raise DispatchError('not an ONC RPC call message')")
+        w.dedent()
+        w.line("if _prog != %d or _vers != %d:" % (program, version))
+        w.indent()
+        w.line("raise DispatchError('program or version mismatch')")
+        w.dedent()
+        w.line("o = 40")
+        w.line("_ctx = _xid")
+
+    def emit_check_reply(self, w, presc):
+        w.line("def _check_reply(d, _ctx):")
+        w.indent()
+        w.line("(_xid, _mt, _rs, _vf, _vl, _ac) = "
+               "_unpack_from('>IIIIII', d, 0)")
+        w.line("if _xid != _ctx:")
+        w.indent()
+        w.line("raise TransportError('reply xid mismatch')")
+        w.dedent()
+        w.line("if _mt != %d or _rs != 0 or _ac != 0:" % REPLY)
+        w.indent()
+        w.line("raise TransportError('rpc call rejected')")
+        w.dedent()
+        w.line("return 24")
+        w.dedent()

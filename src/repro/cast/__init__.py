@@ -1,0 +1,58 @@
+"""CAST: the C Abstract Syntax Tree (paper section 2.2.2).
+
+Flick keeps an explicit representation of the C declarations and statements
+it emits; this is what lets presentation generators and back ends make
+fine-grained specializations, and what lets the back ends associate target
+language data with on-the-wire data.  CAST here covers the C subset the
+stubs need: declarations, struct/union/enum definitions, functions, and the
+statement/expression forms used by marshaling code.
+"""
+
+from repro.cast.nodes import (
+    ArrayOf,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Case,
+    CastExpr,
+    CharLit,
+    Comment,
+    Deref,
+    DoWhile,
+    EnumDef,
+    ExprStmt,
+    FieldDecl,
+    For,
+    FuncDecl,
+    FuncDef,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Member,
+    Param,
+    Pointer,
+    Return,
+    StrLit,
+    StructDef,
+    Switch,
+    Ternary,
+    TypeName,
+    Typedef,
+    UnaryOp,
+    UnionDef,
+    VarDecl,
+    While,
+)
+from repro.cast.emit import CEmitter, emit_c
+
+__all__ = [
+    "ArrayOf", "Assign", "BinOp", "Block", "Break", "CEmitter", "Call",
+    "Case", "CastExpr", "CharLit", "Comment", "Deref", "DoWhile", "EnumDef",
+    "ExprStmt", "FieldDecl", "For", "FuncDecl", "FuncDef", "Ident", "If",
+    "Index", "IntLit", "Member", "Param", "Pointer", "Return", "StrLit",
+    "StructDef", "Switch", "Ternary", "TypeName", "Typedef", "UnaryOp",
+    "UnionDef", "VarDecl", "While", "emit_c",
+]

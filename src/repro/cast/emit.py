@@ -1,0 +1,272 @@
+"""Render CAST nodes to C source text.
+
+The emitter handles C's inside-out declarator syntax (``char *argv[10]``),
+operator precedence (parenthesizing only where required), and statement
+indentation.  Back ends use :func:`emit_c` on a list of top-level
+declarations to produce the ``.c``/``.h`` fidelity artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.cast import nodes as n
+from repro.errors import FlickError
+
+# C operator precedence, higher binds tighter.  Used to decide parentheses.
+_PRECEDENCE = {
+    ",": 1,
+    "=": 2,
+    "?:": 3,
+    "||": 4,
+    "&&": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9, "!=": 9,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11,
+    "+": 12, "-": 12,
+    "*": 13, "/": 13, "%": 13,
+    "unary": 14,
+    "postfix": 15,
+    "primary": 16,
+}
+
+
+class CEmitter:
+    """Stateful pretty-printer; one instance per output file."""
+
+    def __init__(self, indent="    "):
+        self.indent_text = indent
+        self.lines = []
+        self.depth = 0
+
+    # ------------------------------------------------------------------
+
+    def getvalue(self):
+        return "\n".join(self.lines) + "\n"
+
+    def line(self, text=""):
+        if text:
+            self.lines.append(self.indent_text * self.depth + text)
+        else:
+            self.lines.append("")
+
+    # ------------------------------------------------------------------
+    # Declarators: C types print around their declared name.
+    # ------------------------------------------------------------------
+
+    def declarator(self, ctype, name):
+        """Render *ctype* declaring *name* (name may be "")."""
+        if isinstance(ctype, n.TypeName):
+            return ("%s %s" % (ctype.name, name)).rstrip()
+        if isinstance(ctype, n.Pointer):
+            inner = "*%s" % name
+            if isinstance(ctype.target, n.ArrayOf):
+                inner = "(%s)" % inner
+            return self.declarator(ctype.target, inner)
+        if isinstance(ctype, n.ArrayOf):
+            length = "" if ctype.length is None else str(ctype.length)
+            return self.declarator(ctype.element, "%s[%s]" % (name, length))
+        raise FlickError("cannot emit C type %r" % (ctype,))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, expression, parent_precedence=0):
+        text, precedence = self._expr(expression)
+        if precedence < parent_precedence:
+            return "(%s)" % text
+        return text
+
+    def _expr(self, e):
+        if isinstance(e, n.Ident):
+            return e.name, _PRECEDENCE["primary"]
+        if isinstance(e, n.IntLit):
+            return str(e.value), _PRECEDENCE["primary"]
+        if isinstance(e, n.StrLit):
+            return '"%s"' % _escape(e.value), _PRECEDENCE["primary"]
+        if isinstance(e, n.CharLit):
+            return "'%s'" % _escape(e.value), _PRECEDENCE["primary"]
+        if isinstance(e, n.Call):
+            function = self.expr(e.function, _PRECEDENCE["postfix"])
+            arguments = ", ".join(self.expr(a, _PRECEDENCE["="]) for a in e.arguments)
+            return "%s(%s)" % (function, arguments), _PRECEDENCE["postfix"]
+        if isinstance(e, n.Member):
+            base = self.expr(e.base, _PRECEDENCE["postfix"])
+            separator = "->" if e.arrow else "."
+            return "%s%s%s" % (base, separator, e.field), _PRECEDENCE["postfix"]
+        if isinstance(e, n.Index):
+            base = self.expr(e.base, _PRECEDENCE["postfix"])
+            index = self.expr(e.index)
+            return "%s[%s]" % (base, index), _PRECEDENCE["postfix"]
+        if isinstance(e, n.Deref):
+            operand = self.expr(e.operand, _PRECEDENCE["unary"])
+            return "*%s" % operand, _PRECEDENCE["unary"]
+        if isinstance(e, n.UnaryOp):
+            operand = self.expr(e.operand, _PRECEDENCE["unary"])
+            if e.operator in ("++", "--"):
+                return "%s%s" % (operand, e.operator), _PRECEDENCE["postfix"]
+            return "%s%s" % (e.operator, operand), _PRECEDENCE["unary"]
+        if isinstance(e, n.BinOp):
+            precedence = _PRECEDENCE[e.operator]
+            left = self.expr(e.left, precedence)
+            right = self.expr(e.right, precedence + 1)
+            return "%s %s %s" % (left, e.operator, right), precedence
+        if isinstance(e, n.Assign):
+            target = self.expr(e.target, _PRECEDENCE["unary"])
+            value = self.expr(e.value, _PRECEDENCE["="])
+            return "%s %s= %s" % (target, e.operator, value), _PRECEDENCE["="]
+        if isinstance(e, n.Ternary):
+            condition = self.expr(e.condition, _PRECEDENCE["?:"] + 1)
+            then = self.expr(e.then, _PRECEDENCE["?:"])
+            otherwise = self.expr(e.otherwise, _PRECEDENCE["?:"])
+            return "%s ? %s : %s" % (condition, then, otherwise), _PRECEDENCE["?:"]
+        if isinstance(e, n.CastExpr):
+            operand = self.expr(e.operand, _PRECEDENCE["unary"])
+            return "(%s)%s" % (self.declarator(e.type, ""), operand), _PRECEDENCE["unary"]
+        raise FlickError("cannot emit C expression %r" % (e,))
+
+    # ------------------------------------------------------------------
+    # Statements and declarations
+    # ------------------------------------------------------------------
+
+    def stmt(self, statement):
+        if isinstance(statement, n.ExprStmt):
+            self.line("%s;" % self.expr(statement.expression))
+        elif isinstance(statement, n.VarDecl):
+            text = self.declarator(statement.type, statement.name)
+            if statement.initializer is not None:
+                text += " = %s" % self.expr(statement.initializer, _PRECEDENCE["="])
+            self.line("%s;" % text)
+        elif isinstance(statement, n.Block):
+            self.line("{")
+            self.depth += 1
+            for inner in statement.statements:
+                self.stmt(inner)
+            self.depth -= 1
+            self.line("}")
+        elif isinstance(statement, n.If):
+            self._emit_if(statement)
+        elif isinstance(statement, n.While):
+            self.line("while (%s)" % self.expr(statement.condition))
+            self._nested(statement.body)
+        elif isinstance(statement, n.DoWhile):
+            self.line("do")
+            self._nested(statement.body)
+            self.line("while (%s);" % self.expr(statement.condition))
+        elif isinstance(statement, n.For):
+            parts = (
+                "" if statement.initializer is None else self.expr(statement.initializer),
+                "" if statement.condition is None else self.expr(statement.condition),
+                "" if statement.step is None else self.expr(statement.step),
+            )
+            self.line("for (%s; %s; %s)" % parts)
+            self._nested(statement.body)
+        elif isinstance(statement, n.Switch):
+            self.line("switch (%s) {" % self.expr(statement.discriminator))
+            for case in statement.cases:
+                if case.value is None:
+                    self.line("default:")
+                else:
+                    self.line("case %s:" % self.expr(case.value))
+                self.depth += 1
+                for inner in case.body:
+                    self.stmt(inner)
+                self.depth -= 1
+            self.line("}")
+        elif isinstance(statement, n.Return):
+            if statement.value is None:
+                self.line("return;")
+            else:
+                self.line("return %s;" % self.expr(statement.value))
+        elif isinstance(statement, n.Break):
+            self.line("break;")
+        elif isinstance(statement, n.Comment):
+            for text_line in statement.text.split("\n"):
+                self.line("/* %s */" % text_line)
+        elif isinstance(statement, n.StructDef):
+            self._composite("struct", statement.name, statement.fields)
+        elif isinstance(statement, n.UnionDef):
+            self._composite("union", statement.name, statement.fields)
+        elif isinstance(statement, n.EnumDef):
+            self.line("enum %s {" % statement.name)
+            self.depth += 1
+            for index, (member, value) in enumerate(statement.members):
+                comma = "," if index < len(statement.members) - 1 else ""
+                self.line("%s = %d%s" % (member, value, comma))
+            self.depth -= 1
+            self.line("};")
+        elif isinstance(statement, n.Typedef):
+            self.line("typedef %s;" % self.declarator(statement.type, statement.name))
+        elif isinstance(statement, n.FuncDecl):
+            self.line("%s;" % self._prototype(statement))
+        elif isinstance(statement, n.FuncDef):
+            self.line(self._prototype(statement.declaration))
+            self.stmt(statement.body)
+        else:
+            raise FlickError("cannot emit C statement %r" % (statement,))
+
+    def _emit_if(self, statement):
+        self.line("if (%s)" % self.expr(statement.condition))
+        self._nested(statement.then)
+        otherwise = statement.otherwise
+        if otherwise is not None:
+            self.line("else")
+            self._nested(otherwise)
+
+    def _nested(self, body):
+        if isinstance(body, n.Block):
+            self.stmt(body)
+        else:
+            self.depth += 1
+            self.stmt(body)
+            self.depth -= 1
+
+    def _composite(self, keyword, name, fields):
+        self.line("%s %s {" % (keyword, name))
+        self.depth += 1
+        for field_decl in fields:
+            self.line("%s;" % self.declarator(field_decl.type, field_decl.name))
+        self.depth -= 1
+        self.line("};")
+
+    def _prototype(self, declaration):
+        if declaration.parameters:
+            parameters = ", ".join(
+                self.declarator(parameter.type, parameter.name)
+                for parameter in declaration.parameters
+            )
+        else:
+            parameters = "void"
+        return self.declarator(
+            declaration.return_type,
+            "%s(%s)" % (declaration.name, parameters),
+        )
+
+
+_ESCAPE_MAP = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "'": "\\'",
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    "\0": "\\0",
+}
+
+
+def _escape(text):
+    return "".join(_ESCAPE_MAP.get(char, char) for char in text)
+
+
+def emit_c(declarations, header_comment=None):
+    """Render a list of top-level CAST declarations to C source text."""
+    emitter = CEmitter()
+    if header_comment:
+        emitter.stmt(n.Comment(header_comment))
+        emitter.line()
+    for declaration in declarations:
+        emitter.stmt(declaration)
+        emitter.line()
+    return emitter.getvalue()

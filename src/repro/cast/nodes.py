@@ -1,0 +1,274 @@
+"""CAST node definitions.
+
+A deliberately syntax-shaped C representation: types, declarations,
+statements, and expressions, each a frozen dataclass.  The pretty-printer in
+:mod:`repro.cast.emit` renders them to compilable C source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+
+
+class CType:
+    """Base class for C type expressions."""
+
+
+@dataclass(frozen=True)
+class TypeName(CType):
+    """A named type: ``int``, ``CORBA_long``, ``struct foo``, etc."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Pointer(CType):
+    """Pointer to *target*."""
+
+    target: CType
+
+
+@dataclass(frozen=True)
+class ArrayOf(CType):
+    """Array of *element*, optionally with a constant *length*."""
+
+    element: CType
+    length: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class CExpr:
+    """Base class for C expressions."""
+
+
+@dataclass(frozen=True)
+class Ident(CExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class StrLit(CExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class CharLit(CExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class Call(CExpr):
+    function: CExpr
+    arguments: Tuple[CExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Member(CExpr):
+    """``base.field`` or ``base->field`` (``arrow=True``)."""
+
+    base: CExpr
+    field: str
+    arrow: bool = False
+
+
+@dataclass(frozen=True)
+class Index(CExpr):
+    base: CExpr
+    index: CExpr
+
+
+@dataclass(frozen=True)
+class UnaryOp(CExpr):
+    operator: str  # "-", "!", "~", "&", "*", "++", "--"
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class Deref(CExpr):
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class BinOp(CExpr):
+    operator: str
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class Assign(CExpr):
+    """``target op= value`` (``operator`` of "" means plain assignment)."""
+
+    target: CExpr
+    value: CExpr
+    operator: str = ""
+
+
+@dataclass(frozen=True)
+class Ternary(CExpr):
+    condition: CExpr
+    then: CExpr
+    otherwise: CExpr
+
+
+@dataclass(frozen=True)
+class CastExpr(CExpr):
+    type: CType
+    operand: CExpr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class CStmt:
+    """Base class for C statements."""
+
+
+@dataclass(frozen=True)
+class ExprStmt(CStmt):
+    expression: CExpr
+
+
+@dataclass(frozen=True)
+class VarDecl(CStmt):
+    """A local or global variable declaration with optional initializer."""
+
+    type: CType
+    name: str
+    initializer: Optional[CExpr] = None
+
+
+@dataclass(frozen=True)
+class Block(CStmt):
+    statements: Tuple[CStmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class If(CStmt):
+    condition: CExpr
+    then: CStmt
+    otherwise: Optional[CStmt] = None
+
+
+@dataclass(frozen=True)
+class While(CStmt):
+    condition: CExpr
+    body: CStmt
+
+
+@dataclass(frozen=True)
+class DoWhile(CStmt):
+    body: CStmt
+    condition: CExpr
+
+
+@dataclass(frozen=True)
+class For(CStmt):
+    initializer: Optional[CExpr]
+    condition: Optional[CExpr]
+    step: Optional[CExpr]
+    body: CStmt
+
+
+@dataclass(frozen=True)
+class Case(CStmt):
+    """One ``case`` (or ``default`` when *value* is None) of a switch."""
+
+    value: Optional[CExpr]
+    body: Tuple[CStmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class Switch(CStmt):
+    discriminator: CExpr
+    cases: Tuple[Case, ...] = ()
+
+
+@dataclass(frozen=True)
+class Return(CStmt):
+    value: Optional[CExpr] = None
+
+
+@dataclass(frozen=True)
+class Break(CStmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Comment(CStmt):
+    text: str
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    type: CType
+    name: str
+
+
+@dataclass(frozen=True)
+class StructDef(CStmt):
+    name: str
+    fields: Tuple[FieldDecl, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnionDef(CStmt):
+    name: str
+    fields: Tuple[FieldDecl, ...] = ()
+
+
+@dataclass(frozen=True)
+class EnumDef(CStmt):
+    name: str
+    members: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Typedef(CStmt):
+    type: CType
+    name: str
+
+
+@dataclass(frozen=True)
+class Param:
+    type: CType
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncDecl(CStmt):
+    """A function prototype."""
+
+    return_type: CType
+    name: str
+    parameters: Tuple[Param, ...] = ()
+
+
+@dataclass(frozen=True)
+class FuncDef(CStmt):
+    """A function definition: a prototype plus a body."""
+
+    declaration: FuncDecl
+    body: Block = field(default_factory=Block)

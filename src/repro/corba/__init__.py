@@ -1,0 +1,22 @@
+"""The CORBA IDL front end.
+
+Parses (a substantial subset of) CORBA 2.0 IDL — modules, interfaces with
+inheritance, operations with ``in``/``out``/``inout`` parameters and
+``raises`` clauses, attributes, structs, discriminated unions, enums,
+typedefs, sequences, bounded strings, fixed arrays, constants, and
+exceptions — and lowers the result to AOI.
+"""
+
+from repro.corba.parser import parse_corba_idl
+from repro.corba.to_aoi import corba_to_aoi
+
+
+def compile_corba_idl(text, name="<corba-idl>"):
+    """Parse CORBA IDL *text* and return a validated :class:`AoiRoot`."""
+    from repro.aoi import validate
+
+    specification = parse_corba_idl(text, name)
+    return validate(corba_to_aoi(specification, name=name))
+
+
+__all__ = ["parse_corba_idl", "corba_to_aoi", "compile_corba_idl"]

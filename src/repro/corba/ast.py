@@ -1,0 +1,221 @@
+"""Abstract syntax tree for the CORBA IDL front end.
+
+The AST mirrors the source structure (modules, interfaces, declarators with
+array dimensions, unevaluated constant expressions).  Lowering to AOI —
+scope resolution, constant folding, declarator expansion — happens in
+:mod:`repro.corba.to_aoi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.idl.source import SourceLocation
+
+
+# ----------------------------------------------------------------------
+# Type expressions
+# ----------------------------------------------------------------------
+
+
+class AstType:
+    """Base class for type expressions."""
+
+
+@dataclass(frozen=True)
+class AstPrimitive(AstType):
+    """A builtin type: one of the KIND_* names below."""
+
+    kind: str
+
+    KINDS = (
+        "void", "boolean", "char", "octet",
+        "short", "long", "long long",
+        "unsigned short", "unsigned long", "unsigned long long",
+        "float", "double",
+    )
+
+
+@dataclass(frozen=True)
+class AstString(AstType):
+    """``string`` or ``string<bound>``; bound is an unevaluated expr."""
+
+    bound: Optional["AstExpr"] = None
+
+
+@dataclass(frozen=True)
+class AstSequence(AstType):
+    """``sequence<T>`` or ``sequence<T, bound>``."""
+
+    element: AstType
+    bound: Optional["AstExpr"] = None
+
+
+@dataclass(frozen=True)
+class AstScopedName(AstType):
+    """A possibly-qualified name such as ``::Finance::Account``."""
+
+    parts: Tuple[str, ...]
+    absolute: bool = False
+
+    def __str__(self):
+        text = "::".join(self.parts)
+        return "::" + text if self.absolute else text
+
+
+# ----------------------------------------------------------------------
+# Constant expressions (unevaluated)
+# ----------------------------------------------------------------------
+
+
+class AstExpr:
+    """Base class for constant expressions."""
+
+
+@dataclass(frozen=True)
+class AstLiteral(AstExpr):
+    """An integer, float, char, string, or boolean literal."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class AstConstRef(AstExpr):
+    """A reference to a declared constant or enum member."""
+
+    name: AstScopedName
+
+
+@dataclass(frozen=True)
+class AstUnary(AstExpr):
+    operator: str  # "+", "-", "~"
+    operand: AstExpr
+
+
+@dataclass(frozen=True)
+class AstBinary(AstExpr):
+    operator: str  # | ^ & << >> + - * / %
+    left: AstExpr
+    right: AstExpr
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AstDeclarator:
+    """A declared name with optional fixed-array dimensions."""
+
+    name: str
+    dimensions: Tuple[AstExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class AstMember:
+    """A struct/exception member: one type, one or more declarators."""
+
+    type: AstType
+    declarators: Tuple[AstDeclarator, ...]
+
+
+@dataclass(frozen=True)
+class AstTypedef:
+    type: AstType
+    declarators: Tuple[AstDeclarator, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstStruct:
+    name: str
+    members: Tuple[AstMember, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstUnionCase:
+    """``case`` labels (``None`` label = ``default``) plus the arm."""
+
+    labels: Tuple[Optional[AstExpr], ...]
+    type: AstType
+    declarator: AstDeclarator
+
+
+@dataclass(frozen=True)
+class AstUnion:
+    name: str
+    discriminator: AstType
+    cases: Tuple[AstUnionCase, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstEnum:
+    name: str
+    members: Tuple[str, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstConst:
+    type: AstType
+    name: str
+    value: AstExpr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstException:
+    name: str
+    members: Tuple[AstMember, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstParameter:
+    direction: str  # "in" | "out" | "inout"
+    type: AstType
+    name: str
+
+
+@dataclass(frozen=True)
+class AstOperation:
+    name: str
+    return_type: AstType
+    parameters: Tuple[AstParameter, ...]
+    raises: Tuple[AstScopedName, ...] = ()
+    oneway: bool = False
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstAttribute:
+    type: AstType
+    names: Tuple[str, ...]
+    readonly: bool = False
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstInterface:
+    name: str
+    parents: Tuple[AstScopedName, ...]
+    body: Tuple[object, ...]  # operations, attributes, nested type decls
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstModule:
+    name: str
+    body: Tuple[object, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class AstSpecification:
+    """A whole IDL file: the top-level definition list."""
+
+    definitions: Tuple[object, ...]

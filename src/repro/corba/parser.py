@@ -1,0 +1,420 @@
+"""Recursive-descent parser for CORBA IDL.
+
+Covers the subset of CORBA 2.0 IDL that the paper's workloads and AOI need:
+modules, interfaces (with inheritance, operations, attributes, and nested
+type declarations), structs, unions, enums, typedefs, constants, exceptions,
+sequences, bounded strings, and fixed arrays.  Constant expressions follow
+the CORBA grammar's precedence: ``|`` < ``^`` < ``&`` < shifts < additive <
+multiplicative < unary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlSyntaxError
+from repro.idl.lexer import Lexer, LexerSpec, TokenKind
+from repro.idl.source import SourceFile
+from repro.corba import ast
+
+CORBA_KEYWORDS = frozenset(
+    """
+    any attribute boolean case char const context default double enum
+    exception FALSE fixed float in inout interface long module Object octet
+    oneway out raises readonly sequence short string struct switch TRUE
+    typedef union unsigned void wchar wstring
+    """.split()
+)
+
+_SPEC = LexerSpec(keywords=CORBA_KEYWORDS, allow_hash_comments=True)
+
+
+def parse_corba_idl(text, name="<corba-idl>"):
+    """Parse *text* and return an :class:`ast.AstSpecification`."""
+    return _Parser(text, name).parse_specification()
+
+
+class _Parser:
+    def __init__(self, text, name):
+        self.lexer = Lexer(SourceFile(text, name), _SPEC)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_specification(self):
+        definitions = []
+        while not self.lexer.at_end():
+            definitions.append(self.parse_definition())
+        return ast.AstSpecification(tuple(definitions))
+
+    def parse_definition(self):
+        token = self.lexer.peek()
+        if token.is_keyword("module"):
+            return self.parse_module()
+        if token.is_keyword("interface"):
+            return self.parse_interface()
+        declaration = self.parse_declaration()
+        if declaration is None:
+            raise IdlSyntaxError(
+                "expected a definition, found %s" % token, token.location
+            )
+        return declaration
+
+    def parse_declaration(self):
+        """Parse a type/const/exception declaration, or None if not one."""
+        token = self.lexer.peek()
+        if token.is_keyword("typedef"):
+            return self.parse_typedef()
+        if token.is_keyword("struct"):
+            declaration = self.parse_struct()
+            self.lexer.expect_punct(";")
+            return declaration
+        if token.is_keyword("union"):
+            declaration = self.parse_union()
+            self.lexer.expect_punct(";")
+            return declaration
+        if token.is_keyword("enum"):
+            declaration = self.parse_enum()
+            self.lexer.expect_punct(";")
+            return declaration
+        if token.is_keyword("const"):
+            return self.parse_const()
+        if token.is_keyword("exception"):
+            return self.parse_exception()
+        return None
+
+    def parse_module(self):
+        location = self.lexer.expect_keyword("module").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("{")
+        body = []
+        while not self.lexer.peek().is_punct("}"):
+            body.append(self.parse_definition())
+        self.lexer.expect_punct("}")
+        self.lexer.expect_punct(";")
+        return ast.AstModule(name, tuple(body), location)
+
+    def parse_interface(self):
+        location = self.lexer.expect_keyword("interface").location
+        name = self.lexer.expect_ident().text
+        parents = []
+        if self.lexer.accept_punct(":"):
+            parents.append(self.parse_scoped_name())
+            while self.lexer.accept_punct(","):
+                parents.append(self.parse_scoped_name())
+        self.lexer.expect_punct("{")
+        body = []
+        while not self.lexer.peek().is_punct("}"):
+            body.append(self.parse_export())
+        self.lexer.expect_punct("}")
+        self.lexer.expect_punct(";")
+        return ast.AstInterface(name, tuple(parents), tuple(body), location)
+
+    def parse_export(self):
+        token = self.lexer.peek()
+        declaration = self.parse_declaration()
+        if declaration is not None:
+            return declaration
+        if token.is_keyword("readonly") or token.is_keyword("attribute"):
+            return self.parse_attribute()
+        return self.parse_operation()
+
+    # ------------------------------------------------------------------
+    # Interface members
+    # ------------------------------------------------------------------
+
+    def parse_attribute(self):
+        location = self.lexer.peek().location
+        readonly = self.lexer.accept_keyword("readonly")
+        self.lexer.expect_keyword("attribute")
+        attr_type = self.parse_type()
+        names = [self.lexer.expect_ident().text]
+        while self.lexer.accept_punct(","):
+            names.append(self.lexer.expect_ident().text)
+        self.lexer.expect_punct(";")
+        return ast.AstAttribute(attr_type, tuple(names), readonly, location)
+
+    def parse_operation(self):
+        location = self.lexer.peek().location
+        oneway = self.lexer.accept_keyword("oneway")
+        return_type = self.parse_type()
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("(")
+        parameters = []
+        if not self.lexer.peek().is_punct(")"):
+            parameters.append(self.parse_parameter())
+            while self.lexer.accept_punct(","):
+                parameters.append(self.parse_parameter())
+        self.lexer.expect_punct(")")
+        raises = []
+        if self.lexer.accept_keyword("raises"):
+            self.lexer.expect_punct("(")
+            raises.append(self.parse_scoped_name())
+            while self.lexer.accept_punct(","):
+                raises.append(self.parse_scoped_name())
+            self.lexer.expect_punct(")")
+        if self.lexer.accept_keyword("context"):
+            # Accept and discard a context clause for grammar completeness.
+            self.lexer.expect_punct("(")
+            while not self.lexer.accept_punct(")"):
+                self.lexer.next()
+        self.lexer.expect_punct(";")
+        return ast.AstOperation(
+            name, return_type, tuple(parameters), tuple(raises), oneway,
+            location,
+        )
+
+    def parse_parameter(self):
+        token = self.lexer.next()
+        if token.text not in ("in", "out", "inout"):
+            raise IdlSyntaxError(
+                "expected parameter direction (in/out/inout), found %s"
+                % token,
+                token.location,
+            )
+        param_type = self.parse_type()
+        name = self.lexer.expect_ident().text
+        return ast.AstParameter(token.text, param_type, name)
+
+    # ------------------------------------------------------------------
+    # Type declarations
+    # ------------------------------------------------------------------
+
+    def parse_typedef(self):
+        location = self.lexer.expect_keyword("typedef").location
+        base = self.parse_type_or_constructed()
+        declarators = self.parse_declarators()
+        self.lexer.expect_punct(";")
+        return ast.AstTypedef(base, declarators, location)
+
+    def parse_type_or_constructed(self):
+        """A typedef base may itself be a struct/union/enum declaration."""
+        token = self.lexer.peek()
+        if token.is_keyword("struct"):
+            return self.parse_struct()
+        if token.is_keyword("union"):
+            return self.parse_union()
+        if token.is_keyword("enum"):
+            return self.parse_enum()
+        return self.parse_type()
+
+    def parse_struct(self):
+        location = self.lexer.expect_keyword("struct").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("{")
+        members = []
+        while not self.lexer.peek().is_punct("}"):
+            members.append(self.parse_member())
+        self.lexer.expect_punct("}")
+        return ast.AstStruct(name, tuple(members), location)
+
+    def parse_member(self):
+        member_type = self.parse_type_or_constructed()
+        declarators = self.parse_declarators()
+        self.lexer.expect_punct(";")
+        return ast.AstMember(member_type, declarators)
+
+    def parse_union(self):
+        location = self.lexer.expect_keyword("union").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_keyword("switch")
+        self.lexer.expect_punct("(")
+        discriminator = self.parse_type()
+        self.lexer.expect_punct(")")
+        self.lexer.expect_punct("{")
+        cases = []
+        while not self.lexer.peek().is_punct("}"):
+            cases.append(self.parse_union_case())
+        self.lexer.expect_punct("}")
+        return ast.AstUnion(name, discriminator, tuple(cases), location)
+
+    def parse_union_case(self):
+        labels = []
+        while True:
+            token = self.lexer.peek()
+            if token.is_keyword("case"):
+                self.lexer.next()
+                labels.append(self.parse_const_expr())
+                self.lexer.expect_punct(":")
+            elif token.is_keyword("default"):
+                self.lexer.next()
+                self.lexer.expect_punct(":")
+                labels.append(None)
+            else:
+                break
+        if not labels:
+            token = self.lexer.peek()
+            raise IdlSyntaxError(
+                "expected 'case' or 'default', found %s" % token,
+                token.location,
+            )
+        case_type = self.parse_type_or_constructed()
+        declarator = self.parse_declarator()
+        self.lexer.expect_punct(";")
+        return ast.AstUnionCase(tuple(labels), case_type, declarator)
+
+    def parse_enum(self):
+        location = self.lexer.expect_keyword("enum").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("{")
+        members = [self.lexer.expect_ident().text]
+        while self.lexer.accept_punct(","):
+            members.append(self.lexer.expect_ident().text)
+        self.lexer.expect_punct("}")
+        return ast.AstEnum(name, tuple(members), location)
+
+    def parse_const(self):
+        location = self.lexer.expect_keyword("const").location
+        const_type = self.parse_type()
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("=")
+        value = self.parse_const_expr()
+        self.lexer.expect_punct(";")
+        return ast.AstConst(const_type, name, value, location)
+
+    def parse_exception(self):
+        location = self.lexer.expect_keyword("exception").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("{")
+        members = []
+        while not self.lexer.peek().is_punct("}"):
+            members.append(self.parse_member())
+        self.lexer.expect_punct("}")
+        self.lexer.expect_punct(";")
+        return ast.AstException(name, tuple(members), location)
+
+    def parse_declarators(self):
+        declarators = [self.parse_declarator()]
+        while self.lexer.accept_punct(","):
+            declarators.append(self.parse_declarator())
+        return tuple(declarators)
+
+    def parse_declarator(self):
+        name = self.lexer.expect_ident().text
+        dimensions = []
+        while self.lexer.accept_punct("["):
+            dimensions.append(self.parse_const_expr())
+            self.lexer.expect_punct("]")
+        return ast.AstDeclarator(name, tuple(dimensions))
+
+    # ------------------------------------------------------------------
+    # Type expressions
+    # ------------------------------------------------------------------
+
+    def parse_type(self):
+        token = self.lexer.peek()
+        if token.kind is TokenKind.KEYWORD:
+            if token.text in ("void", "boolean", "char", "octet", "float",
+                              "double", "short"):
+                self.lexer.next()
+                return ast.AstPrimitive(token.text)
+            if token.text == "long":
+                self.lexer.next()
+                if self.lexer.accept_keyword("long"):
+                    return ast.AstPrimitive("long long")
+                if self.lexer.accept_keyword("double"):
+                    return ast.AstPrimitive("double")
+                return ast.AstPrimitive("long")
+            if token.text == "unsigned":
+                self.lexer.next()
+                if self.lexer.accept_keyword("short"):
+                    return ast.AstPrimitive("unsigned short")
+                self.lexer.expect_keyword("long")
+                if self.lexer.accept_keyword("long"):
+                    return ast.AstPrimitive("unsigned long long")
+                return ast.AstPrimitive("unsigned long")
+            if token.text == "string":
+                self.lexer.next()
+                bound = None
+                if self.lexer.accept_punct("<"):
+                    bound = self.parse_const_expr()
+                    self.lexer.expect_punct(">")
+                return ast.AstString(bound)
+            if token.text == "sequence":
+                self.lexer.next()
+                self.lexer.expect_punct("<")
+                element = self.parse_type()
+                bound = None
+                if self.lexer.accept_punct(","):
+                    bound = self.parse_const_expr()
+                self.lexer.expect_punct(">")
+                return ast.AstSequence(element, bound)
+            raise IdlSyntaxError(
+                "unsupported type keyword %r" % token.text, token.location
+            )
+        return self.parse_scoped_name()
+
+    def parse_scoped_name(self):
+        absolute = self.lexer.accept_punct("::")
+        parts = [self.lexer.expect_ident().text]
+        while self.lexer.peek().is_punct("::"):
+            self.lexer.next()
+            parts.append(self.lexer.expect_ident().text)
+        return ast.AstScopedName(tuple(parts), absolute)
+
+    # ------------------------------------------------------------------
+    # Constant expressions
+    # ------------------------------------------------------------------
+
+    def parse_const_expr(self):
+        return self._parse_or()
+
+    def _parse_binary(self, operators, operand_parser):
+        left = operand_parser()
+        while True:
+            token = self.lexer.peek()
+            if token.kind is TokenKind.PUNCT and token.text in operators:
+                self.lexer.next()
+                right = operand_parser()
+                left = ast.AstBinary(token.text, left, right)
+            else:
+                return left
+
+    def _parse_or(self):
+        return self._parse_binary(("|",), self._parse_xor)
+
+    def _parse_xor(self):
+        return self._parse_binary(("^",), self._parse_and)
+
+    def _parse_and(self):
+        return self._parse_binary(("&",), self._parse_shift)
+
+    def _parse_shift(self):
+        return self._parse_binary(("<<", ">>"), self._parse_add)
+
+    def _parse_add(self):
+        return self._parse_binary(("+", "-"), self._parse_mult)
+
+    def _parse_mult(self):
+        return self._parse_binary(("*", "/", "%"), self._parse_unary)
+
+    def _parse_unary(self):
+        token = self.lexer.peek()
+        if token.kind is TokenKind.PUNCT and token.text in ("+", "-", "~"):
+            self.lexer.next()
+            return ast.AstUnary(token.text, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.lexer.peek()
+        if token.kind is TokenKind.INT or token.kind is TokenKind.FLOAT:
+            self.lexer.next()
+            return ast.AstLiteral(token.value)
+        if token.kind is TokenKind.CHAR or token.kind is TokenKind.STRING:
+            self.lexer.next()
+            return ast.AstLiteral(token.value)
+        if token.is_keyword("TRUE"):
+            self.lexer.next()
+            return ast.AstLiteral(True)
+        if token.is_keyword("FALSE"):
+            self.lexer.next()
+            return ast.AstLiteral(False)
+        if token.is_punct("("):
+            self.lexer.next()
+            inner = self.parse_const_expr()
+            self.lexer.expect_punct(")")
+            return inner
+        if token.kind is TokenKind.IDENT or token.is_punct("::"):
+            return ast.AstConstRef(self.parse_scoped_name())
+        raise IdlSyntaxError(
+            "expected constant expression, found %s" % token, token.location
+        )

@@ -1,0 +1,371 @@
+"""Lower the CORBA AST to AOI.
+
+This stage performs the semantic work the parser defers: scope tracking and
+name resolution (modules and interfaces open scopes; unqualified names are
+searched innermost-outward), constant-expression evaluation, declarator
+expansion (``long m[4][5]`` becomes nested :class:`AoiArray` nodes), and the
+mapping of CORBA primitive types onto AOI value-range types.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlSemanticError
+from repro.aoi import (
+    AoiArray,
+    AoiAttribute,
+    AoiBoolean,
+    AoiChar,
+    AoiConstant,
+    AoiEnum,
+    AoiException,
+    AoiFloat,
+    AoiInteger,
+    AoiInterface,
+    AoiNamedRef,
+    AoiOctet,
+    AoiOperation,
+    AoiParameter,
+    AoiRoot,
+    AoiSequence,
+    AoiString,
+    AoiStruct,
+    AoiStructField,
+    AoiUnion,
+    AoiUnionCase,
+    AoiVoid,
+    Direction,
+)
+from repro.corba import ast
+
+_PRIMITIVES = {
+    "void": AoiVoid(),
+    "boolean": AoiBoolean(),
+    "char": AoiChar(),
+    "octet": AoiOctet(),
+    "short": AoiInteger(16, True),
+    "long": AoiInteger(32, True),
+    "long long": AoiInteger(64, True),
+    "unsigned short": AoiInteger(16, False),
+    "unsigned long": AoiInteger(32, False),
+    "unsigned long long": AoiInteger(64, False),
+    "float": AoiFloat(32),
+    "double": AoiFloat(64),
+}
+
+_DIRECTIONS = {
+    "in": Direction.IN,
+    "out": Direction.OUT,
+    "inout": Direction.INOUT,
+}
+
+
+def corba_to_aoi(specification, name="<corba-idl>"):
+    """Lower an :class:`ast.AstSpecification` to an :class:`AoiRoot`."""
+    return _Lowering(name).lower(specification)
+
+
+class _Lowering:
+    def __init__(self, name):
+        self.root = AoiRoot(name)
+        self.scope = []  # e.g. ["Finance", "Bank"]
+        # All defined names (types, interfaces, exceptions, constants) for
+        # scoped-name resolution, fully qualified.
+        self.defined = set()
+        self.constants = {}  # fq name -> python value
+
+    # ------------------------------------------------------------------
+    # Scoping
+    # ------------------------------------------------------------------
+
+    def qualify(self, name):
+        return "::".join(self.scope + [name])
+
+    def resolve_name(self, scoped_name):
+        """Resolve *scoped_name* to a fully qualified name or raise."""
+        suffix = "::".join(scoped_name.parts)
+        if scoped_name.absolute:
+            if suffix in self.defined:
+                return suffix
+            raise IdlSemanticError("undefined name ::%s" % suffix)
+        for depth in range(len(self.scope), -1, -1):
+            candidate = "::".join(self.scope[:depth] + list(scoped_name.parts))
+            if candidate in self.defined:
+                return candidate
+        raise IdlSemanticError("undefined name %s" % suffix)
+
+    def define(self, name):
+        full = self.qualify(name)
+        if full in self.defined:
+            raise IdlSemanticError("redefinition of %r" % full)
+        self.defined.add(full)
+        return full
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def lower(self, specification):
+        for definition in specification.definitions:
+            self.lower_definition(definition)
+        return self.root
+
+    def lower_definition(self, definition):
+        if isinstance(definition, ast.AstModule):
+            self.define(definition.name)
+            self.scope.append(definition.name)
+            try:
+                for inner in definition.body:
+                    self.lower_definition(inner)
+            finally:
+                self.scope.pop()
+        elif isinstance(definition, ast.AstInterface):
+            self.lower_interface(definition)
+        elif isinstance(definition, ast.AstTypedef):
+            self.lower_typedef(definition)
+        elif isinstance(definition, ast.AstStruct):
+            self.lower_struct(definition)
+        elif isinstance(definition, ast.AstUnion):
+            self.lower_union(definition)
+        elif isinstance(definition, ast.AstEnum):
+            self.lower_enum(definition)
+        elif isinstance(definition, ast.AstConst):
+            self.lower_const(definition)
+        elif isinstance(definition, ast.AstException):
+            self.lower_exception(definition)
+        else:
+            raise IdlSemanticError(
+                "unexpected definition %r" % type(definition).__name__
+            )
+
+    # ------------------------------------------------------------------
+    # Type declarations
+    # ------------------------------------------------------------------
+
+    def lower_typedef(self, typedef):
+        base = self.lower_type(typedef.type)
+        for declarator in typedef.declarators:
+            full = self.define(declarator.name)
+            self.root.define_type(full, self.apply_dimensions(base, declarator))
+
+    def apply_dimensions(self, base, declarator):
+        """Wrap *base* in AoiArray nodes for the declarator's dimensions."""
+        result = base
+        for dimension in reversed(declarator.dimensions):
+            length = self.eval_const(dimension)
+            if not isinstance(length, int):
+                raise IdlSemanticError(
+                    "array dimension of %r is not an integer"
+                    % declarator.name
+                )
+            result = AoiArray(result, length)
+        return result
+
+    def lower_struct(self, struct):
+        full = self.define(struct.name)
+        fields = self.lower_members(struct.members, context=full)
+        self.root.define_type(full, AoiStruct(full, fields))
+        return AoiNamedRef(full)
+
+    def lower_members(self, members, context):
+        fields = []
+        for member in members:
+            base = self.lower_type(member.type)
+            for declarator in member.declarators:
+                fields.append(
+                    AoiStructField(
+                        declarator.name,
+                        self.apply_dimensions(base, declarator),
+                    )
+                )
+        return tuple(fields)
+
+    def lower_union(self, union):
+        full = self.define(union.name)
+        discriminator = self.lower_type(union.discriminator)
+        resolved = self.root.resolve(discriminator)
+        cases = []
+        for case in union.cases:
+            labels = []
+            for label in case.labels:
+                if label is None:
+                    continue  # default
+                labels.append(self.eval_label(label, resolved))
+            case_type = self.apply_dimensions(
+                self.lower_type(case.type), case.declarator
+            )
+            cases.append(
+                AoiUnionCase(tuple(labels), case.declarator.name, case_type)
+            )
+        self.root.define_type(
+            full, AoiUnion(full, discriminator, tuple(cases))
+        )
+        return AoiNamedRef(full)
+
+    def eval_label(self, expr, discriminator):
+        value = self.eval_const(expr)
+        if isinstance(discriminator, AoiEnum) and isinstance(value, int):
+            return value
+        return value
+
+    def lower_enum(self, enum_decl):
+        full = self.define(enum_decl.name)
+        members = []
+        for index, member in enumerate(enum_decl.members):
+            member_full = self.define(member)
+            self.constants[member_full] = index
+            members.append((member, index))
+        self.root.define_type(full, AoiEnum(full, tuple(members)))
+        return AoiNamedRef(full)
+
+    def lower_const(self, const):
+        full = self.define(const.name)
+        value = self.eval_const(const.value)
+        self.constants[full] = value
+        self.root.define_constant(
+            AoiConstant(full, self.lower_type(const.type), value)
+        )
+
+    def lower_exception(self, exception):
+        full = self.define(exception.name)
+        fields = self.lower_members(exception.members, context=full)
+        self.root.define_exception(AoiException(full, fields))
+
+    # ------------------------------------------------------------------
+    # Interfaces
+    # ------------------------------------------------------------------
+
+    def lower_interface(self, interface):
+        full = self.define(interface.name)
+        parents = tuple(
+            self.resolve_name(parent) for parent in interface.parents
+        )
+        self.scope.append(interface.name)
+        operations = []
+        attributes = []
+        try:
+            for member in interface.body:
+                if isinstance(member, ast.AstOperation):
+                    operations.append(self.lower_operation(member))
+                elif isinstance(member, ast.AstAttribute):
+                    attributes.extend(self.lower_attribute(member))
+                else:
+                    self.lower_definition(member)
+        finally:
+            self.scope.pop()
+        repository_id = "IDL:%s:1.0" % full.replace("::", "/")
+        self.root.add_interface(
+            AoiInterface(
+                full,
+                tuple(operations),
+                tuple(attributes),
+                parents,
+                code=repository_id,
+            )
+        )
+
+    def lower_operation(self, operation):
+        parameters = tuple(
+            AoiParameter(
+                parameter.name,
+                self.lower_type(parameter.type),
+                _DIRECTIONS[parameter.direction],
+            )
+            for parameter in operation.parameters
+        )
+        raises = tuple(
+            self.resolve_name(exc_name) for exc_name in operation.raises
+        )
+        return AoiOperation(
+            operation.name,
+            parameters,
+            self.lower_type(operation.return_type),
+            request_code=operation.name,
+            oneway=operation.oneway,
+            raises=raises,
+        )
+
+    def lower_attribute(self, attribute):
+        attr_type = self.lower_type(attribute.type)
+        return [
+            AoiAttribute(name, attr_type, attribute.readonly)
+            for name in attribute.names
+        ]
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def lower_type(self, ast_type):
+        if isinstance(ast_type, ast.AstPrimitive):
+            return _PRIMITIVES[ast_type.kind]
+        if isinstance(ast_type, ast.AstString):
+            bound = None
+            if ast_type.bound is not None:
+                bound = self.eval_const(ast_type.bound)
+            return AoiString(bound)
+        if isinstance(ast_type, ast.AstSequence):
+            bound = None
+            if ast_type.bound is not None:
+                bound = self.eval_const(ast_type.bound)
+            return AoiSequence(self.lower_type(ast_type.element), bound)
+        if isinstance(ast_type, ast.AstScopedName):
+            return AoiNamedRef(self.resolve_name(ast_type))
+        if isinstance(ast_type, ast.AstStruct):
+            return self.lower_struct(ast_type)
+        if isinstance(ast_type, ast.AstUnion):
+            return self.lower_union(ast_type)
+        if isinstance(ast_type, ast.AstEnum):
+            return self.lower_enum(ast_type)
+        raise IdlSemanticError(
+            "unsupported type %r" % type(ast_type).__name__
+        )
+
+    # ------------------------------------------------------------------
+    # Constant expressions
+    # ------------------------------------------------------------------
+
+    def eval_const(self, expr):
+        if isinstance(expr, ast.AstLiteral):
+            return expr.value
+        if isinstance(expr, ast.AstConstRef):
+            full = self.resolve_name(expr.name)
+            if full not in self.constants:
+                raise IdlSemanticError("%r is not a constant" % full)
+            return self.constants[full]
+        if isinstance(expr, ast.AstUnary):
+            value = self.eval_const(expr.operand)
+            if expr.operator == "-":
+                return -value
+            if expr.operator == "+":
+                return +value
+            if expr.operator == "~":
+                return ~value
+        if isinstance(expr, ast.AstBinary):
+            left = self.eval_const(expr.left)
+            right = self.eval_const(expr.right)
+            operator = expr.operator
+            if operator == "|":
+                return left | right
+            if operator == "^":
+                return left ^ right
+            if operator == "&":
+                return left & right
+            if operator == "<<":
+                return left << right
+            if operator == ">>":
+                return left >> right
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            if operator == "/":
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right
+                return left / right
+            if operator == "%":
+                return left % right
+        raise IdlSemanticError(
+            "cannot evaluate constant expression %r" % (expr,)
+        )

@@ -1,0 +1,7 @@
+"""The Flick compiler core: pipeline driver and optimization options."""
+
+from repro.core.options import OptFlags
+from repro.core.loader import load_stub_module
+from repro.core.compiler import Flick, CompileResult
+
+__all__ = ["CompileResult", "Flick", "OptFlags", "load_stub_module"]

@@ -1,0 +1,134 @@
+"""The Flick pipeline driver.
+
+Ties the three phases together exactly as Figure 1 of the paper draws
+them: a front end parses IDL to AOI, a presentation generator maps AOI to
+PRES_C, and a back end turns PRES_C into stubs.  Any front end composes
+with any presentation generator and any back end (the MIG front end, which
+is conjoined with its own presentation, is handled by
+:mod:`repro.mig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FlickError
+from repro.core.options import OptFlags
+
+#: Front-end registry: name -> callable(text, name) -> AoiRoot.
+FRONTENDS = {}
+
+#: Default presentation style per front end.
+DEFAULT_PRESENTATION = {
+    "corba": "corba-c",
+    "oncrpc": "rpcgen",
+}
+
+#: Default back end per presentation style.
+DEFAULT_BACKEND = {
+    "corba-c": "iiop",
+    "corba-c-len": "iiop",
+    "rpcgen": "oncrpc-xdr",
+    "fluke": "fluke",
+}
+
+
+def _register_frontends():
+    from repro.corba import compile_corba_idl
+    from repro.oncrpc import compile_oncrpc_idl
+
+    FRONTENDS["corba"] = compile_corba_idl
+    FRONTENDS["oncrpc"] = compile_oncrpc_idl
+
+
+@dataclass
+class CompileResult:
+    """Everything produced for one interface: IRs and generated stubs."""
+
+    aoi: object
+    interface: object
+    presc: object
+    stubs: object  # GeneratedStubs
+
+    def load_module(self):
+        return self.stubs.load()
+
+
+class Flick:
+    """The compiler facade.
+
+    Example::
+
+        flick = Flick(frontend="corba", backend="iiop")
+        result = flick.compile(idl_text)
+        module = result.load_module()
+        client = module.Test_MailClient(transport)
+    """
+
+    def __init__(self, frontend="corba", presentation=None, backend=None,
+                 flags=None, **backend_options):
+        if not FRONTENDS:
+            _register_frontends()
+        if frontend not in FRONTENDS:
+            raise FlickError(
+                "unknown front end %r (have: %s)"
+                % (frontend, ", ".join(sorted(FRONTENDS)))
+            )
+        self.frontend = frontend
+        self.presentation = presentation or DEFAULT_PRESENTATION[frontend]
+        self.backend = backend or DEFAULT_BACKEND[self.presentation]
+        self.flags = flags or OptFlags()
+        self.backend_options = backend_options
+
+    # ------------------------------------------------------------------
+
+    def parse(self, idl_text, name="<idl>"):
+        """Run only the front end; returns the validated AoiRoot."""
+        return FRONTENDS[self.frontend](idl_text, name)
+
+    def present(self, aoi_root, interface_name=None, side="client"):
+        """Run presentation generation for one interface."""
+        from repro.pgen import make_presentation
+
+        interface = self._pick_interface(aoi_root, interface_name)
+        generator = make_presentation(self.presentation)
+        return generator.generate(aoi_root, interface, side=side)
+
+    def compile(self, idl_text, interface=None, name="<idl>"):
+        """Full pipeline; returns a :class:`CompileResult`."""
+        from repro.backend import make_backend
+        from repro.pgen import make_presentation
+
+        aoi_root = self.parse(idl_text, name)
+        picked = self._pick_interface(aoi_root, interface)
+        generator = make_presentation(self.presentation)
+        presc = generator.generate(aoi_root, picked, side="client")
+        backend = make_backend(self.backend, **self.backend_options)
+        stubs = backend.generate(presc, self.flags)
+        return CompileResult(
+            aoi=aoi_root, interface=picked, presc=presc, stubs=stubs
+        )
+
+    def compile_all(self, idl_text, name="<idl>"):
+        """Compile every interface; returns {interface name: result}."""
+        aoi_root = self.parse(idl_text, name)
+        results = {}
+        for interface in aoi_root.interfaces:
+            results[interface.name] = self.compile(
+                idl_text, interface=interface.name, name=name
+            )
+        return results
+
+    @staticmethod
+    def _pick_interface(aoi_root, interface_name):
+        if interface_name is not None:
+            return aoi_root.interface_named(interface_name)
+        if not aoi_root.interfaces:
+            raise FlickError("the IDL input defines no interfaces")
+        if len(aoi_root.interfaces) > 1:
+            raise FlickError(
+                "the IDL input defines %d interfaces; pass interface=..."
+                % len(aoi_root.interfaces)
+            )
+        return aoi_root.interfaces[0]

@@ -1,0 +1,32 @@
+"""Load generated Python stub modules.
+
+Generated stubs are plain Python source; this module compiles and executes
+them into real module objects so that clients, servants, and dispatch
+functions can be used directly.  Modules are registered in ``sys.modules``
+under unique names so tracebacks through generated code are readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+_counter = 0
+
+
+def load_stub_module(source, name="flick_generated"):
+    """Compile and exec generated *source*; return the module object."""
+    global _counter
+    _counter += 1
+    unique = "%s_%d" % (name, _counter)
+    module = types.ModuleType(unique)
+    module.__file__ = "<%s>" % unique
+    code = compile(source, module.__file__, "exec")
+    sys.modules[unique] = module
+    try:
+        exec(code, module.__dict__)
+    except Exception:
+        sys.modules.pop(unique, None)
+        raise
+    module.__source__ = source
+    return module

@@ -1,0 +1,41 @@
+"""Wire formats and the marshal-buffer runtime.
+
+Each wire format (XDR, CDR, Mach typed messages, Fluke IPC) supplies the
+byte-level layout rules — atom sizes, alignment, array headers, padding —
+that parameterize the MINT analyses and the back ends' code generation, plus
+a reference interpretive encoder/decoder used by the ILU-style baseline and
+by the property-based tests as ground truth.
+"""
+
+from repro.encoding.buffer import MarshalBuffer, ReadCursor
+from repro.encoding.base import AtomCodec, WireFormat
+from repro.encoding.xdr import XdrFormat
+from repro.encoding.cdr import CdrFormat
+from repro.encoding.mach import MachFormat
+from repro.encoding.fluke import FlukeFormat
+
+#: Singleton instances; wire formats are stateless.
+XDR = XdrFormat()
+CDR_BE = CdrFormat(little_endian=False)
+CDR_LE = CdrFormat(little_endian=True)
+MACH = MachFormat()
+FLUKE = FlukeFormat()
+
+FORMATS = {fmt.name: fmt for fmt in (XDR, CDR_BE, CDR_LE, MACH, FLUKE)}
+
+__all__ = [
+    "AtomCodec",
+    "CDR_BE",
+    "CDR_LE",
+    "CdrFormat",
+    "FLUKE",
+    "FORMATS",
+    "FlukeFormat",
+    "MACH",
+    "MachFormat",
+    "MarshalBuffer",
+    "ReadCursor",
+    "WireFormat",
+    "XDR",
+    "XdrFormat",
+]

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the Flick reproduction.
+
+Every error raised by the compiler pipeline derives from :class:`FlickError`
+so that callers (the CLI, tests, embedding applications) can catch one type.
+The hierarchy mirrors the compiler's phases: lexing/parsing errors come from
+front ends, semantic errors from AOI validation and presentation generation,
+and code-generation errors from back ends.  Runtime errors (bad wire data,
+transport failures) derive from :class:`RuntimeFlickError` because they occur
+in generated-stub execution rather than at compile time.
+"""
+
+from __future__ import annotations
+
+
+class FlickError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class IdlSyntaxError(FlickError):
+    """A front end could not tokenize or parse its IDL input.
+
+    Attributes:
+        location: a :class:`repro.idl.source.SourceLocation` or ``None``.
+    """
+
+    def __init__(self, message, location=None):
+        self.location = location
+        if location is not None:
+            message = "%s: %s" % (location, message)
+        super().__init__(message)
+
+
+class IdlSemanticError(FlickError):
+    """The IDL parsed but violates a language rule (e.g. duplicate names,
+    undefined types, non-constant array bounds)."""
+
+    def __init__(self, message, location=None):
+        self.location = location
+        if location is not None:
+            message = "%s: %s" % (location, message)
+        super().__init__(message)
+
+
+class AoiValidationError(FlickError):
+    """An AOI structure is internally inconsistent."""
+
+
+class PresentationError(FlickError):
+    """A presentation generator cannot map an AOI construct onto its target
+    (e.g. the rpcgen presentation cannot express CORBA exceptions)."""
+
+
+class BackEndError(FlickError):
+    """A back end cannot produce code for a presentation (e.g. MIG-style
+    back ends cannot express arrays of non-atomic types)."""
+
+
+class RuntimeFlickError(FlickError):
+    """Base class for errors occurring while generated stubs execute."""
+
+
+class FlickUserException(RuntimeFlickError):
+    """Base class for generated IDL user exceptions.
+
+    Generated exception classes (one per IDL ``exception``) derive from
+    this; client stubs raise them when the reply carries the matching
+    exception arm, and server dispatch catches them from work functions
+    and marshals the corresponding reply.
+    """
+
+    _fields = ()
+
+
+class MarshalError(RuntimeFlickError):
+    """A value cannot be encoded (out of range, wrong type, over bound)."""
+
+
+class UnmarshalError(RuntimeFlickError):
+    """Received bytes do not decode as a valid message."""
+
+
+class TransportError(RuntimeFlickError):
+    """A transport failed to move a message."""
+
+
+class DispatchError(RuntimeFlickError):
+    """A server received a request it has no operation for."""

@@ -1,0 +1,13 @@
+"""Shared front-end infrastructure: source locations and the lexer."""
+
+from repro.idl.source import SourceFile, SourceLocation
+from repro.idl.lexer import Lexer, LexerSpec, Token, TokenKind
+
+__all__ = [
+    "SourceFile",
+    "SourceLocation",
+    "Lexer",
+    "LexerSpec",
+    "Token",
+    "TokenKind",
+]

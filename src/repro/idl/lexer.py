@@ -1,0 +1,372 @@
+"""A configurable tokenizer shared by the CORBA, ONC RPC, and MIG front ends.
+
+All three IDLs are C-flavoured: identifiers, integer/float/char/string
+literals, ``//`` and ``/* */`` comments, and a set of one- to three-character
+punctuators.  The languages differ only in their keyword sets and in a few
+lexical details (e.g. MIG treats ``@`` specially), so each front end builds a
+:class:`Lexer` from its own :class:`LexerSpec` instead of writing a scanner
+from scratch.  This mirrors Flick's shared front-end base library (Table 1 of
+the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import IdlSyntaxError
+from repro.idl.source import SourceFile, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`Lexer`."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` holds the decoded payload: an ``int`` for INT tokens, ``float``
+    for FLOAT, the unescaped text for CHAR/STRING, and the spelling for
+    everything else.
+    """
+
+    kind: TokenKind
+    text: str
+    value: object
+    location: SourceLocation
+
+    def is_punct(self, spelling):
+        return self.kind is TokenKind.PUNCT and self.text == spelling
+
+    def is_keyword(self, spelling):
+        return self.kind is TokenKind.KEYWORD and self.text == spelling
+
+    def __str__(self):
+        if self.kind is TokenKind.EOF:
+            return "end of input"
+        return "%r" % self.text
+
+
+# Punctuators common to the C-family IDLs, longest first so that the scanner
+# can match greedily.
+DEFAULT_PUNCTUATORS = (
+    "<<=", ">>=", "::", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "^", "&", "|", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "?", "@", "#",
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "v": "\v",
+    "b": "\b",
+    "r": "\r",
+    "f": "\f",
+    "a": "\a",
+    "\\": "\\",
+    "?": "?",
+    "'": "'",
+    '"': '"',
+    "0": "\0",
+}
+
+
+@dataclass
+class LexerSpec:
+    """Per-language lexer configuration.
+
+    Attributes:
+        keywords: identifiers to report as ``KEYWORD`` tokens.
+        punctuators: recognized punctuator spellings (matched longest-first).
+        case_insensitive_keywords: if true, keywords match regardless of
+            case and are normalized to lower case (ONC RPC is case
+            sensitive; this exists for dialects that are not).
+        allow_hash_comments: treat ``# ...`` lines as comments (rpcgen
+            passes cpp directives through; we discard them).
+    """
+
+    keywords: frozenset = frozenset()
+    punctuators: Sequence[str] = DEFAULT_PUNCTUATORS
+    case_insensitive_keywords: bool = False
+    allow_hash_comments: bool = False
+
+    def __post_init__(self):
+        self.keywords = frozenset(self.keywords)
+        # Sort punctuators longest-first once, at spec construction.
+        self.punctuators = tuple(
+            sorted(self.punctuators, key=len, reverse=True)
+        )
+
+
+class Lexer:
+    """Tokenizes a :class:`SourceFile` according to a :class:`LexerSpec`.
+
+    The lexer is a one-token-lookahead stream: parsers use :meth:`peek`,
+    :meth:`next`, and the ``expect_*`` helpers.  All tokens are produced
+    eagerly by :meth:`tokenize` so the stream can also be replayed.
+    """
+
+    def __init__(self, source, spec):
+        if isinstance(source, str):
+            source = SourceFile(source)
+        self.source = source
+        self.spec = spec
+        self._tokens = self.tokenize()
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def tokenize(self):
+        """Scan the whole input and return the token list (ending in EOF)."""
+        tokens = []
+        text = self.source.text
+        length = len(text)
+        pos = 0
+        while pos < length:
+            char = text[pos]
+            if char in " \t\r\n\f\v":
+                pos += 1
+                continue
+            if char == "/" and text.startswith("//", pos):
+                pos = self._skip_line(text, pos)
+                continue
+            if char == "/" and text.startswith("/*", pos):
+                pos = self._skip_block_comment(text, pos)
+                continue
+            if char == "#" and self.spec.allow_hash_comments:
+                pos = self._skip_line(text, pos)
+                continue
+            if char.isalpha() or char == "_":
+                pos = self._scan_word(text, pos, tokens)
+                continue
+            if char.isdigit() or (
+                char == "." and pos + 1 < length and text[pos + 1].isdigit()
+            ):
+                pos = self._scan_number(text, pos, tokens)
+                continue
+            if char == '"':
+                pos = self._scan_string(text, pos, tokens)
+                continue
+            if char == "'":
+                pos = self._scan_char(text, pos, tokens)
+                continue
+            pos = self._scan_punct(text, pos, tokens)
+        tokens.append(
+            Token(TokenKind.EOF, "", None, self.source.location(length and length - 1 or 0))
+        )
+        return tokens
+
+    def _skip_line(self, text, pos):
+        end = text.find("\n", pos)
+        return len(text) if end == -1 else end + 1
+
+    def _skip_block_comment(self, text, pos):
+        end = text.find("*/", pos + 2)
+        if end == -1:
+            raise IdlSyntaxError(
+                "unterminated block comment", self.source.location(pos)
+            )
+        return end + 2
+
+    def _scan_word(self, text, pos, tokens):
+        start = pos
+        while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        word = text[start:pos]
+        location = self.source.location(start)
+        keyword = word.lower() if self.spec.case_insensitive_keywords else word
+        if keyword in self.spec.keywords:
+            tokens.append(Token(TokenKind.KEYWORD, keyword, keyword, location))
+        else:
+            tokens.append(Token(TokenKind.IDENT, word, word, location))
+        return pos
+
+    def _scan_number(self, text, pos, tokens):
+        start = pos
+        location = self.source.location(start)
+        if text.startswith(("0x", "0X"), pos):
+            pos += 2
+            while pos < len(text) and text[pos] in "0123456789abcdefABCDEF":
+                pos += 1
+            spelling = text[start:pos]
+            if pos == start + 2:
+                raise IdlSyntaxError("malformed hex literal", location)
+            tokens.append(Token(TokenKind.INT, spelling, int(spelling, 16), location))
+            return pos
+        while pos < len(text) and text[pos].isdigit():
+            pos += 1
+        is_float = False
+        if pos < len(text) and text[pos] == ".":
+            is_float = True
+            pos += 1
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+        if pos < len(text) and text[pos] in "eE":
+            lookahead = pos + 1
+            if lookahead < len(text) and text[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < len(text) and text[lookahead].isdigit():
+                is_float = True
+                pos = lookahead
+                while pos < len(text) and text[pos].isdigit():
+                    pos += 1
+        spelling = text[start:pos]
+        if is_float:
+            tokens.append(Token(TokenKind.FLOAT, spelling, float(spelling), location))
+        elif spelling.startswith("0") and len(spelling) > 1 and spelling.isdigit():
+            tokens.append(Token(TokenKind.INT, spelling, int(spelling, 8), location))
+        else:
+            tokens.append(Token(TokenKind.INT, spelling, int(spelling, 10), location))
+        return pos
+
+    def _scan_escape(self, text, pos, location):
+        """Decode the escape sequence after a backslash; return (char, pos)."""
+        if pos >= len(text):
+            raise IdlSyntaxError("unterminated escape sequence", location)
+        char = text[pos]
+        if char in _ESCAPES:
+            return _ESCAPES[char], pos + 1
+        if char == "x":
+            digits = ""
+            pos += 1
+            while pos < len(text) and text[pos] in "0123456789abcdefABCDEF":
+                digits += text[pos]
+                pos += 1
+            if not digits:
+                raise IdlSyntaxError("malformed \\x escape", location)
+            return chr(int(digits, 16)), pos
+        if char.isdigit():
+            digits = ""
+            while pos < len(text) and text[pos].isdigit() and len(digits) < 3:
+                digits += text[pos]
+                pos += 1
+            return chr(int(digits, 8)), pos
+        raise IdlSyntaxError("unknown escape sequence \\%s" % char, location)
+
+    def _scan_string(self, text, pos, tokens):
+        start = pos
+        location = self.source.location(start)
+        pos += 1
+        chars = []
+        while True:
+            if pos >= len(text):
+                raise IdlSyntaxError("unterminated string literal", location)
+            char = text[pos]
+            if char == '"':
+                pos += 1
+                break
+            if char == "\n":
+                raise IdlSyntaxError("newline in string literal", location)
+            if char == "\\":
+                decoded, pos = self._scan_escape(text, pos + 1, location)
+                chars.append(decoded)
+                continue
+            chars.append(char)
+            pos += 1
+        tokens.append(
+            Token(TokenKind.STRING, text[start:pos], "".join(chars), location)
+        )
+        return pos
+
+    def _scan_char(self, text, pos, tokens):
+        start = pos
+        location = self.source.location(start)
+        pos += 1
+        if pos >= len(text):
+            raise IdlSyntaxError("unterminated character literal", location)
+        if text[pos] == "\\":
+            decoded, pos = self._scan_escape(text, pos + 1, location)
+        else:
+            decoded = text[pos]
+            pos += 1
+        if pos >= len(text) or text[pos] != "'":
+            raise IdlSyntaxError("unterminated character literal", location)
+        pos += 1
+        tokens.append(Token(TokenKind.CHAR, text[start:pos], decoded, location))
+        return pos
+
+    def _scan_punct(self, text, pos, tokens):
+        location = self.source.location(pos)
+        for punct in self.spec.punctuators:
+            if text.startswith(punct, pos):
+                tokens.append(Token(TokenKind.PUNCT, punct, punct, location))
+                return pos + len(punct)
+        raise IdlSyntaxError("unexpected character %r" % text[pos], location)
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+
+    def peek(self, ahead=0):
+        """Return the token *ahead* positions past the cursor (EOF-padded)."""
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self):
+        """Consume and return the current token."""
+        token = self.peek()
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def at_end(self):
+        return self.peek().kind is TokenKind.EOF
+
+    def accept_punct(self, spelling):
+        """Consume the punctuator if present; return True on a match."""
+        if self.peek().is_punct(spelling):
+            self.next()
+            return True
+        return False
+
+    def accept_keyword(self, spelling):
+        """Consume the keyword if present; return True on a match."""
+        if self.peek().is_keyword(spelling):
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, spelling):
+        token = self.next()
+        if not (token.kind is TokenKind.PUNCT and token.text == spelling):
+            raise IdlSyntaxError(
+                "expected %r, found %s" % (spelling, token), token.location
+            )
+        return token
+
+    def expect_keyword(self, spelling):
+        token = self.next()
+        if not token.is_keyword(spelling):
+            raise IdlSyntaxError(
+                "expected %r, found %s" % (spelling, token), token.location
+            )
+        return token
+
+    def expect_ident(self):
+        token = self.next()
+        if token.kind is not TokenKind.IDENT:
+            raise IdlSyntaxError(
+                "expected identifier, found %s" % token, token.location
+            )
+        return token
+
+    def expect_int(self):
+        token = self.next()
+        if token.kind is not TokenKind.INT:
+            raise IdlSyntaxError(
+                "expected integer literal, found %s" % token, token.location
+            )
+        return token

@@ -1,0 +1,28 @@
+"""The MIG front end.
+
+MIG (the Mach Interface Generator) definitions contain constructs that are
+applicable only to C and to the Mach message system, so — as in the paper
+(section 2.1, Figure 1) — this front end is *conjoined* with its own
+presentation generator: :func:`compile_mig_idl` translates a MIG subsystem
+directly into PRES_C, bypassing AOI.
+
+Supported subset::
+
+    subsystem arith 4200;
+    type int_array = array[*:4096] of int;
+    type name_t = c_string[64];
+    routine add(server : mach_port_t; a : int; b : int; out total : int);
+    simpleroutine poke(server : mach_port_t; value : int);
+"""
+
+from repro.mig.parser import parse_mig_idl
+from repro.mig.to_presc import mig_to_presc
+
+
+def compile_mig_idl(text, name="<mig-idl>"):
+    """Parse MIG *text* and return the PRES_C presentation directly."""
+    subsystem = parse_mig_idl(text, name)
+    return mig_to_presc(subsystem)
+
+
+__all__ = ["compile_mig_idl", "parse_mig_idl", "mig_to_presc"]

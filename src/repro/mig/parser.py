@@ -1,0 +1,212 @@
+"""Parser for the MIG definition-language subset.
+
+Grammar (a pragma-free slice of the Mach 3 Server Writer's Guide):
+
+.. code-block:: none
+
+    subsystem      := "subsystem" IDENT INT ";" item*
+    item           := type-decl | routine-decl | skip-decl
+    type-decl      := "type" IDENT "=" mig-type ";"
+    mig-type       := "array" "[" size "]" "of" mig-type
+                    | "struct" "[" INT "]" "of" mig-type
+                    | "c_string" "[" size "]"
+                    | IDENT
+    size           := INT | "*" ":" INT | "*"
+    routine-decl   := ("routine" | "simpleroutine") IDENT
+                      "(" param (";" param)* ")" ";"
+    param          := [("in"|"out"|"inout")] IDENT ":" IDENT-or-mig-type
+    skip-decl      := "skip" ";"
+
+``skip`` reserves a message id, as in real MIG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import IdlSyntaxError
+from repro.idl.lexer import Lexer, LexerSpec, TokenKind
+from repro.idl.source import SourceFile
+
+MIG_KEYWORDS = frozenset(
+    """
+    subsystem type routine simpleroutine skip array struct of c_string
+    in out inout
+    """.split()
+)
+
+_SPEC = LexerSpec(keywords=MIG_KEYWORDS, allow_hash_comments=True)
+
+
+class MigType:
+    """Base class for MIG type expressions."""
+
+
+@dataclass(frozen=True)
+class MigNamed(MigType):
+    name: str
+
+
+@dataclass(frozen=True)
+class MigArray(MigType):
+    """``array[n] of T`` (fixed) or ``array[*:max] of T`` (variable)."""
+
+    element: MigType
+    length: Optional[int]        # fixed length, or None for variable
+    bound: Optional[int] = None  # for variable arrays
+
+
+@dataclass(frozen=True)
+class MigStructOf(MigType):
+    """``struct[n] of T`` — n inline copies of T."""
+
+    element: MigType
+    length: int
+
+
+@dataclass(frozen=True)
+class MigCString(MigType):
+    bound: Optional[int]
+
+
+@dataclass(frozen=True)
+class MigTypeDecl:
+    name: str
+    type: MigType
+
+
+@dataclass(frozen=True)
+class MigParam:
+    direction: str  # "in" | "out" | "inout"
+    name: str
+    type: MigType
+
+
+@dataclass(frozen=True)
+class MigRoutine:
+    name: str
+    parameters: Tuple[MigParam, ...]
+    oneway: bool  # simpleroutine
+    number: int   # offset within the subsystem's message-id range
+
+
+@dataclass(frozen=True)
+class MigSubsystem:
+    name: str
+    base: int
+    types: Tuple[MigTypeDecl, ...]
+    routines: Tuple[MigRoutine, ...]
+
+
+def parse_mig_idl(text, name="<mig-idl>"):
+    """Parse *text*; returns a :class:`MigSubsystem`."""
+    return _Parser(text, name).parse_subsystem()
+
+
+class _Parser:
+    def __init__(self, text, name):
+        self.lexer = Lexer(SourceFile(text, name), _SPEC)
+
+    def parse_subsystem(self):
+        self.lexer.expect_keyword("subsystem")
+        name = self.lexer.expect_ident().text
+        base = self.lexer.expect_int().value
+        self.lexer.expect_punct(";")
+        types = []
+        routines = []
+        routine_number = 0
+        while not self.lexer.at_end():
+            token = self.lexer.peek()
+            if token.is_keyword("type"):
+                types.append(self.parse_type_decl())
+            elif token.is_keyword("skip"):
+                self.lexer.next()
+                self.lexer.expect_punct(";")
+                routine_number += 1
+            elif token.is_keyword("routine") or token.is_keyword(
+                "simpleroutine"
+            ):
+                routine_number += 1
+                routines.append(self.parse_routine(routine_number))
+            else:
+                raise IdlSyntaxError(
+                    "expected a type or routine declaration, found %s"
+                    % token,
+                    token.location,
+                )
+        return MigSubsystem(name, base, tuple(types), tuple(routines))
+
+    def parse_type_decl(self):
+        self.lexer.expect_keyword("type")
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("=")
+        mig_type = self.parse_type()
+        self.lexer.expect_punct(";")
+        return MigTypeDecl(name, mig_type)
+
+    def parse_type(self):
+        token = self.lexer.peek()
+        if token.is_keyword("array"):
+            self.lexer.next()
+            self.lexer.expect_punct("[")
+            length, bound = self.parse_size()
+            self.lexer.expect_punct("]")
+            self.lexer.expect_keyword("of")
+            element = self.parse_type()
+            return MigArray(element, length, bound)
+        if token.is_keyword("struct"):
+            self.lexer.next()
+            self.lexer.expect_punct("[")
+            length = self.lexer.expect_int().value
+            self.lexer.expect_punct("]")
+            self.lexer.expect_keyword("of")
+            element = self.parse_type()
+            return MigStructOf(element, length)
+        if token.is_keyword("c_string"):
+            self.lexer.next()
+            self.lexer.expect_punct("[")
+            _length, bound = self.parse_size()
+            self.lexer.expect_punct("]")
+            return MigCString(bound if bound is not None else _length)
+        if token.kind is TokenKind.IDENT:
+            self.lexer.next()
+            return MigNamed(token.text)
+        raise IdlSyntaxError(
+            "expected a MIG type, found %s" % token, token.location
+        )
+
+    def parse_size(self):
+        """Returns (fixed_length, variable_bound)."""
+        if self.lexer.accept_punct("*"):
+            if self.lexer.accept_punct(":"):
+                return None, self.lexer.expect_int().value
+            return None, None
+        return self.lexer.expect_int().value, None
+
+    def parse_routine(self, number):
+        token = self.lexer.next()
+        oneway = token.text == "simpleroutine"
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("(")
+        parameters = []
+        if not self.lexer.peek().is_punct(")"):
+            parameters.append(self.parse_param())
+            while self.lexer.accept_punct(";"):
+                parameters.append(self.parse_param())
+        self.lexer.expect_punct(")")
+        self.lexer.expect_punct(";")
+        return MigRoutine(name, tuple(parameters), oneway, number)
+
+    def parse_param(self):
+        direction = "in"
+        token = self.lexer.peek()
+        if token.kind is TokenKind.KEYWORD and token.text in (
+            "in", "out", "inout"
+        ):
+            direction = token.text
+            self.lexer.next()
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct(":")
+        param_type = self.parse_type()
+        return MigParam(direction, name, param_type)

@@ -1,0 +1,150 @@
+"""Translate MIG subsystems directly into PRES_C.
+
+As in the paper, the MIG front end bypasses AOI: MIG interfaces are bound
+to the C language and the Mach message system, so its conjoined
+presentation generator builds the Mach presentation (PRES_C) directly.
+Internally this is implemented by synthesizing a private AOI scope and
+driving a MIG-specific presentation policy over it — the machinery is
+shared, the pipeline entry point is not.
+
+MIG conventions honoured here: the first ``mach_port_t`` parameter is the
+request port and does not travel in the message body; ``routine`` replies
+carry the ``out`` parameters; ``simpleroutine`` has no reply; message ids
+are ``subsystem base + routine ordinal``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlSemanticError
+from repro.aoi import (
+    AoiArray,
+    AoiBoolean,
+    AoiChar,
+    AoiFloat,
+    AoiInteger,
+    AoiInterface,
+    AoiNamedRef,
+    AoiOctet,
+    AoiOperation,
+    AoiParameter,
+    AoiRoot,
+    AoiSequence,
+    AoiString,
+    AoiStruct,
+    AoiStructField,
+    AoiVoid,
+    Direction,
+    validate,
+)
+from repro.mig import parser as mig_ast
+from repro.pgen.corba_c import CorbaCPresentation
+
+#: MIG's builtin scalar type names.
+_BUILTINS = {
+    "int": AoiInteger(32, True),
+    "int32": AoiInteger(32, True),
+    "unsigned": AoiInteger(32, False),
+    "int64": AoiInteger(64, True),
+    "int16": AoiInteger(16, True),
+    "char": AoiChar(),
+    "boolean": AoiBoolean(),
+    "byte": AoiOctet(),
+    "float": AoiFloat(32),
+    "double": AoiFloat(64),
+    "natural_t": AoiInteger(32, False),
+    "integer_t": AoiInteger(32, True),
+}
+
+_DIRECTIONS = {
+    "in": Direction.IN,
+    "out": Direction.OUT,
+    "inout": Direction.INOUT,
+}
+
+
+class MigPresentation(CorbaCPresentation):
+    """MIG's C presentation: ``kern_return_t subsystem_routine(...)``."""
+
+    style = "mig"
+
+    def stub_name(self, interface, operation):
+        # MIG names stubs subsystem_routine with no extra mangling.
+        return "%s_%s" % (interface.name, operation.name)
+
+
+def mig_to_presc(subsystem, side="client"):
+    """Build the PRES_C for a parsed :class:`MigSubsystem`."""
+    root = AoiRoot("<mig:%s>" % subsystem.name)
+    for type_decl in subsystem.types:
+        root.define_type(
+            type_decl.name, _lower_type(type_decl.type, type_decl.name)
+        )
+    operations = []
+    for routine in subsystem.routines:
+        operations.append(_lower_routine(root, routine))
+    interface = AoiInterface(
+        subsystem.name, tuple(operations), code=subsystem.base
+    )
+    root.add_interface(interface)
+    validate(root)
+    return MigPresentation().generate(root, interface, side=side)
+
+
+def _lower_type(mig_type, context):
+    if isinstance(mig_type, mig_ast.MigNamed):
+        builtin = _BUILTINS.get(mig_type.name)
+        if builtin is not None:
+            return builtin
+        if mig_type.name == "mach_port_t":
+            # Port rights travel out of band; in the message body a port
+            # name is a 32-bit value.
+            return AoiInteger(32, False)
+        return AoiNamedRef(mig_type.name)
+    if isinstance(mig_type, mig_ast.MigArray):
+        element = _lower_type(mig_type.element, context)
+        if mig_type.length is not None:
+            return AoiArray(element, mig_type.length)
+        return AoiSequence(element, mig_type.bound)
+    if isinstance(mig_type, mig_ast.MigStructOf):
+        # struct[n] of T is n inline copies presented as one record.
+        element = _lower_type(mig_type.element, context)
+        fields = tuple(
+            AoiStructField("f%d" % index, element)
+            for index in range(mig_type.length)
+        )
+        return AoiStruct("%s_struct" % context, fields)
+    if isinstance(mig_type, mig_ast.MigCString):
+        return AoiString(mig_type.bound)
+    raise IdlSemanticError(
+        "cannot lower MIG type %r" % type(mig_type).__name__
+    )
+
+
+def _is_request_port(parameter, index):
+    return (
+        index == 0
+        and isinstance(parameter.type, mig_ast.MigNamed)
+        and parameter.type.name in ("mach_port_t", "mach_port_make_send_t")
+    )
+
+
+def _lower_routine(root, routine):
+    parameters = []
+    for index, parameter in enumerate(routine.parameters):
+        if _is_request_port(parameter, index):
+            continue  # the request port addresses the message
+        parameters.append(
+            AoiParameter(
+                parameter.name,
+                _lower_type(parameter.type, "%s_%s" % (routine.name,
+                                                       parameter.name)),
+                _DIRECTIONS[parameter.direction],
+            )
+        )
+    return AoiOperation(
+        routine.name,
+        tuple(parameters),
+        AoiVoid(),
+        request_code=routine.number,
+        oneway=routine.oneway,
+    )

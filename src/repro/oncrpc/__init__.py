@@ -1,0 +1,28 @@
+"""The ONC RPC front end.
+
+Parses the XDR data-description language of RFC 1831/1832 plus rpcgen's
+``program``/``version`` RPC extension, and lowers the result to AOI.  This is
+the language the paper's Mail example uses:
+
+.. code-block:: c
+
+    program Mail {
+        version MailVers {
+            void send(string) = 1;
+        } = 1;
+    } = 0x20000001;
+"""
+
+from repro.oncrpc.parser import parse_oncrpc_idl
+from repro.oncrpc.to_aoi import oncrpc_to_aoi
+
+
+def compile_oncrpc_idl(text, name="<oncrpc-idl>"):
+    """Parse ONC RPC IDL *text* and return a validated :class:`AoiRoot`."""
+    from repro.aoi import validate
+
+    specification = parse_oncrpc_idl(text, name)
+    return validate(oncrpc_to_aoi(specification, name=name))
+
+
+__all__ = ["parse_oncrpc_idl", "oncrpc_to_aoi", "compile_oncrpc_idl"]

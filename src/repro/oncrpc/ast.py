@@ -1,0 +1,156 @@
+"""Abstract syntax tree for the ONC RPC (XDR language) front end.
+
+XDR declarations are represented close to the RFC 1831/1832 grammar: a
+*declaration* is a type specifier plus one declared name with an optional
+array/pointer decoration, and a *program* holds versions holding procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.idl.source import SourceLocation
+
+
+class XdrType:
+    """Base class for XDR type specifiers."""
+
+
+@dataclass(frozen=True)
+class XdrPrimitive(XdrType):
+    """int, unsigned int, hyper, unsigned hyper, float, double, bool, void."""
+
+    kind: str
+
+    KINDS = (
+        "int", "unsigned int", "hyper", "unsigned hyper",
+        "float", "double", "bool", "void", "char", "unsigned char",
+        "short", "unsigned short",
+    )
+
+
+@dataclass(frozen=True)
+class XdrNamed(XdrType):
+    """Reference to a named type (including ``struct foo`` references)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class XdrEnumDef(XdrType):
+    """``enum name { A = 1, ... }``; members may omit explicit values."""
+
+    name: Optional[str]
+    members: Tuple[Tuple[str, Optional["XdrValue"]], ...]
+
+
+@dataclass(frozen=True)
+class XdrStructDef(XdrType):
+    name: Optional[str]
+    members: Tuple["XdrDeclaration", ...]
+
+
+@dataclass(frozen=True)
+class XdrUnionDef(XdrType):
+    name: Optional[str]
+    discriminator: "XdrDeclaration"
+    cases: Tuple["XdrUnionCase", ...]
+    default: Optional["XdrDeclaration"] = None
+
+
+@dataclass(frozen=True)
+class XdrUnionCase:
+    """``case value: declaration;`` — several values may share an arm."""
+
+    values: Tuple["XdrValue", ...]
+    declaration: "XdrDeclaration"
+
+
+@dataclass(frozen=True)
+class XdrValue:
+    """A constant: an integer/bool literal or a reference to a constant."""
+
+    literal: Optional[object] = None
+    reference: Optional[str] = None
+
+    @classmethod
+    def of(cls, literal):
+        return cls(literal=literal)
+
+    @classmethod
+    def ref(cls, name):
+        return cls(reference=name)
+
+
+class Decoration:
+    """How a declaration decorates its base type."""
+
+    PLAIN = "plain"
+    FIXED_ARRAY = "fixed"      # name[n]
+    VAR_ARRAY = "var"          # name<n> or name<>
+    OPTIONAL = "optional"      # *name
+    STRING = "string"          # string name<n>
+    OPAQUE_FIXED = "opaque_fixed"
+    OPAQUE_VAR = "opaque_var"
+
+
+@dataclass(frozen=True)
+class XdrDeclaration:
+    """One declared datum: base type, name, and decoration."""
+
+    type: XdrType
+    name: Optional[str]  # None for bare `void`
+    decoration: str = Decoration.PLAIN
+    size: Optional[XdrValue] = None  # array length / bound
+
+    @property
+    def is_void(self):
+        return (
+            isinstance(self.type, XdrPrimitive) and self.type.kind == "void"
+        )
+
+
+@dataclass(frozen=True)
+class XdrTypedef:
+    declaration: XdrDeclaration
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class XdrConst:
+    name: str
+    value: XdrValue
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class XdrProcedure:
+    """``result_type name(arg_type, ...) = number;``"""
+
+    name: str
+    result: XdrType
+    arguments: Tuple[XdrType, ...]
+    number: int
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class XdrVersion:
+    name: str
+    procedures: Tuple[XdrProcedure, ...]
+    number: int
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class XdrProgram:
+    name: str
+    versions: Tuple[XdrVersion, ...]
+    number: int
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class XdrSpecification:
+    definitions: Tuple[object, ...]

@@ -1,0 +1,368 @@
+"""Recursive-descent parser for the ONC RPC IDL (XDR language + rpcgen).
+
+Follows the RFC 1831/1832 grammar with rpcgen's extensions: ``program``
+definitions, ``%`` pass-through lines (discarded), multi-argument procedures
+(rpcgen ``-N`` style), and ``struct foo`` type references.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlSyntaxError
+from repro.idl.lexer import Lexer, LexerSpec, TokenKind
+from repro.idl.source import SourceFile
+from repro.oncrpc import ast
+from repro.oncrpc.ast import Decoration
+
+ONCRPC_KEYWORDS = frozenset(
+    """
+    bool case const default double enum float hyper int opaque program
+    quadruple string struct switch typedef union unsigned version void
+    char short TRUE FALSE
+    """.split()
+)
+
+_SPEC = LexerSpec(keywords=ONCRPC_KEYWORDS, allow_hash_comments=True)
+
+
+def parse_oncrpc_idl(text, name="<oncrpc-idl>"):
+    """Parse *text* and return an :class:`ast.XdrSpecification`."""
+    # rpcgen's '%' pass-through lines are a lexical oddity; strip them
+    # before tokenizing, preserving line numbers.
+    lines = []
+    for line in text.split("\n"):
+        lines.append("" if line.lstrip().startswith("%") else line)
+    return _Parser("\n".join(lines), name).parse_specification()
+
+
+class _Parser:
+    def __init__(self, text, name):
+        self.lexer = Lexer(SourceFile(text, name), _SPEC)
+
+    # ------------------------------------------------------------------
+
+    def parse_specification(self):
+        definitions = []
+        while not self.lexer.at_end():
+            definitions.append(self.parse_definition())
+        return ast.XdrSpecification(tuple(definitions))
+
+    def parse_definition(self):
+        token = self.lexer.peek()
+        if token.is_keyword("const"):
+            return self.parse_const()
+        if token.is_keyword("typedef"):
+            return self.parse_typedef()
+        if token.is_keyword("enum"):
+            definition = self.parse_enum_def(require_name=True)
+            self.lexer.expect_punct(";")
+            return ast.XdrTypedef(
+                ast.XdrDeclaration(definition, definition.name),
+                token.location,
+            )
+        if token.is_keyword("struct"):
+            definition = self.parse_struct_def(require_name=True)
+            self.lexer.expect_punct(";")
+            return ast.XdrTypedef(
+                ast.XdrDeclaration(definition, definition.name),
+                token.location,
+            )
+        if token.is_keyword("union"):
+            definition = self.parse_union_def(require_name=True)
+            self.lexer.expect_punct(";")
+            return ast.XdrTypedef(
+                ast.XdrDeclaration(definition, definition.name),
+                token.location,
+            )
+        if token.is_keyword("program"):
+            return self.parse_program()
+        raise IdlSyntaxError(
+            "expected a definition, found %s" % token, token.location
+        )
+
+    def parse_const(self):
+        location = self.lexer.expect_keyword("const").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("=")
+        value = self.parse_value()
+        self.lexer.expect_punct(";")
+        return ast.XdrConst(name, value, location)
+
+    def parse_typedef(self):
+        location = self.lexer.expect_keyword("typedef").location
+        declaration = self.parse_declaration()
+        self.lexer.expect_punct(";")
+        if declaration.name is None:
+            raise IdlSyntaxError("typedef requires a name", location)
+        return ast.XdrTypedef(declaration, location)
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+
+    def parse_value(self):
+        token = self.lexer.peek()
+        if token.kind is TokenKind.INT:
+            self.lexer.next()
+            return ast.XdrValue.of(token.value)
+        if token.is_punct("-"):
+            self.lexer.next()
+            number = self.lexer.expect_int()
+            return ast.XdrValue.of(-number.value)
+        if token.is_keyword("TRUE"):
+            self.lexer.next()
+            return ast.XdrValue.of(True)
+        if token.is_keyword("FALSE"):
+            self.lexer.next()
+            return ast.XdrValue.of(False)
+        if token.kind is TokenKind.IDENT:
+            self.lexer.next()
+            return ast.XdrValue.ref(token.text)
+        raise IdlSyntaxError(
+            "expected a constant, found %s" % token, token.location
+        )
+
+    # ------------------------------------------------------------------
+    # Type specifiers
+    # ------------------------------------------------------------------
+
+    def parse_type_specifier(self):
+        token = self.lexer.peek()
+        if token.is_keyword("unsigned"):
+            self.lexer.next()
+            inner = self.lexer.peek()
+            for kind in ("int", "hyper", "char", "short"):
+                if inner.is_keyword(kind):
+                    self.lexer.next()
+                    return ast.XdrPrimitive("unsigned " + kind)
+            # bare `unsigned` means `unsigned int` in rpcgen
+            return ast.XdrPrimitive("unsigned int")
+        for kind in ("int", "hyper", "float", "double", "bool", "void",
+                     "char", "short"):
+            if token.is_keyword(kind):
+                self.lexer.next()
+                return ast.XdrPrimitive(kind)
+        if token.is_keyword("quadruple"):
+            raise IdlSyntaxError(
+                "quadruple precision is not supported", token.location
+            )
+        if token.is_keyword("enum"):
+            return self.parse_enum_def(require_name=False)
+        if token.is_keyword("struct"):
+            # `struct foo` may be a reference or an inline definition.
+            if (
+                self.lexer.peek(1).kind is TokenKind.IDENT
+                and not self.lexer.peek(2).is_punct("{")
+            ):
+                self.lexer.next()
+                return ast.XdrNamed(self.lexer.expect_ident().text)
+            return self.parse_struct_def(require_name=False)
+        if token.is_keyword("union"):
+            return self.parse_union_def(require_name=False)
+        if token.kind is TokenKind.IDENT:
+            self.lexer.next()
+            return ast.XdrNamed(token.text)
+        raise IdlSyntaxError(
+            "expected a type specifier, found %s" % token, token.location
+        )
+
+    def parse_enum_def(self, require_name):
+        self.lexer.expect_keyword("enum")
+        name = None
+        if self.lexer.peek().kind is TokenKind.IDENT:
+            name = self.lexer.expect_ident().text
+        elif require_name:
+            token = self.lexer.peek()
+            raise IdlSyntaxError("enum requires a name", token.location)
+        self.lexer.expect_punct("{")
+        members = []
+        while True:
+            member = self.lexer.expect_ident().text
+            value = None
+            if self.lexer.accept_punct("="):
+                value = self.parse_value()
+            members.append((member, value))
+            if not self.lexer.accept_punct(","):
+                break
+        self.lexer.expect_punct("}")
+        return ast.XdrEnumDef(name, tuple(members))
+
+    def parse_struct_def(self, require_name):
+        self.lexer.expect_keyword("struct")
+        name = None
+        if self.lexer.peek().kind is TokenKind.IDENT:
+            name = self.lexer.expect_ident().text
+        elif require_name:
+            token = self.lexer.peek()
+            raise IdlSyntaxError("struct requires a name", token.location)
+        self.lexer.expect_punct("{")
+        members = []
+        while not self.lexer.peek().is_punct("}"):
+            declaration = self.parse_declaration()
+            self.lexer.expect_punct(";")
+            if not declaration.is_void:
+                members.append(declaration)
+        self.lexer.expect_punct("}")
+        return ast.XdrStructDef(name, tuple(members))
+
+    def parse_union_def(self, require_name):
+        self.lexer.expect_keyword("union")
+        name = None
+        if self.lexer.peek().kind is TokenKind.IDENT:
+            name = self.lexer.expect_ident().text
+        elif require_name:
+            token = self.lexer.peek()
+            raise IdlSyntaxError("union requires a name", token.location)
+        self.lexer.expect_keyword("switch")
+        self.lexer.expect_punct("(")
+        discriminator = self.parse_declaration()
+        self.lexer.expect_punct(")")
+        self.lexer.expect_punct("{")
+        cases = []
+        default = None
+        while not self.lexer.peek().is_punct("}"):
+            token = self.lexer.peek()
+            if token.is_keyword("case"):
+                values = []
+                while self.lexer.accept_keyword("case"):
+                    values.append(self.parse_value())
+                    self.lexer.expect_punct(":")
+                declaration = self.parse_declaration()
+                self.lexer.expect_punct(";")
+                cases.append(ast.XdrUnionCase(tuple(values), declaration))
+            elif token.is_keyword("default"):
+                self.lexer.next()
+                self.lexer.expect_punct(":")
+                default = self.parse_declaration()
+                self.lexer.expect_punct(";")
+            else:
+                raise IdlSyntaxError(
+                    "expected 'case' or 'default', found %s" % token,
+                    token.location,
+                )
+        self.lexer.expect_punct("}")
+        return ast.XdrUnionDef(name, discriminator, tuple(cases), default)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def parse_declaration(self):
+        token = self.lexer.peek()
+        if token.is_keyword("void"):
+            self.lexer.next()
+            return ast.XdrDeclaration(ast.XdrPrimitive("void"), None)
+        if token.is_keyword("opaque"):
+            self.lexer.next()
+            name = self.lexer.expect_ident().text
+            if self.lexer.accept_punct("["):
+                size = self.parse_value()
+                self.lexer.expect_punct("]")
+                return ast.XdrDeclaration(
+                    ast.XdrPrimitive("unsigned char"), name,
+                    Decoration.OPAQUE_FIXED, size,
+                )
+            self.lexer.expect_punct("<")
+            size = None
+            if not self.lexer.peek().is_punct(">"):
+                size = self.parse_value()
+            self.lexer.expect_punct(">")
+            return ast.XdrDeclaration(
+                ast.XdrPrimitive("unsigned char"), name,
+                Decoration.OPAQUE_VAR, size,
+            )
+        if token.is_keyword("string"):
+            self.lexer.next()
+            name = self.lexer.expect_ident().text
+            self.lexer.expect_punct("<")
+            size = None
+            if not self.lexer.peek().is_punct(">"):
+                size = self.parse_value()
+            self.lexer.expect_punct(">")
+            return ast.XdrDeclaration(
+                ast.XdrPrimitive("char"), name, Decoration.STRING, size
+            )
+        base = self.parse_type_specifier()
+        if self.lexer.accept_punct("*"):
+            name = self.lexer.expect_ident().text
+            return ast.XdrDeclaration(base, name, Decoration.OPTIONAL)
+        if isinstance(base, ast.XdrPrimitive) and base.kind == "void":
+            return ast.XdrDeclaration(base, None)
+        name = self.lexer.expect_ident().text
+        if self.lexer.accept_punct("["):
+            size = self.parse_value()
+            self.lexer.expect_punct("]")
+            return ast.XdrDeclaration(base, name, Decoration.FIXED_ARRAY, size)
+        if self.lexer.accept_punct("<"):
+            size = None
+            if not self.lexer.peek().is_punct(">"):
+                size = self.parse_value()
+            self.lexer.expect_punct(">")
+            return ast.XdrDeclaration(base, name, Decoration.VAR_ARRAY, size)
+        return ast.XdrDeclaration(base, name)
+
+    # ------------------------------------------------------------------
+    # Programs
+    # ------------------------------------------------------------------
+
+    def parse_program(self):
+        location = self.lexer.expect_keyword("program").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("{")
+        versions = []
+        while not self.lexer.peek().is_punct("}"):
+            versions.append(self.parse_version())
+        self.lexer.expect_punct("}")
+        self.lexer.expect_punct("=")
+        number = self.lexer.expect_int().value
+        self.lexer.expect_punct(";")
+        return ast.XdrProgram(name, tuple(versions), number, location)
+
+    def parse_version(self):
+        location = self.lexer.expect_keyword("version").location
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("{")
+        procedures = []
+        while not self.lexer.peek().is_punct("}"):
+            procedures.append(self.parse_procedure())
+        self.lexer.expect_punct("}")
+        self.lexer.expect_punct("=")
+        number = self.lexer.expect_int().value
+        self.lexer.expect_punct(";")
+        return ast.XdrVersion(name, tuple(procedures), number, location)
+
+    def parse_procedure(self):
+        location = self.lexer.peek().location
+        result = self.parse_proc_type()
+        name = self.lexer.expect_ident().text
+        self.lexer.expect_punct("(")
+        arguments = []
+        if not self.lexer.peek().is_punct(")"):
+            argument = self.parse_proc_type()
+            if not (
+                isinstance(argument, ast.XdrPrimitive)
+                and argument.kind == "void"
+            ):
+                arguments.append(argument)
+            while self.lexer.accept_punct(","):
+                arguments.append(self.parse_proc_type())
+        self.lexer.expect_punct(")")
+        self.lexer.expect_punct("=")
+        number = self.lexer.expect_int().value
+        self.lexer.expect_punct(";")
+        return ast.XdrProcedure(
+            name, result, tuple(arguments), number, location
+        )
+
+    def parse_proc_type(self):
+        """Procedure argument/result types; `string` is legal here."""
+        token = self.lexer.peek()
+        if token.is_keyword("string"):
+            self.lexer.next()
+            # `string` in a procedure heading means unbounded string.
+            return ast.XdrPrimitive("string")
+        if token.is_keyword("opaque"):
+            raise IdlSyntaxError(
+                "opaque is not a legal procedure type; use a typedef",
+                token.location,
+            )
+        return self.parse_type_specifier()

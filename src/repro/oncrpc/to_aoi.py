@@ -1,0 +1,259 @@
+"""Lower the ONC RPC AST to AOI.
+
+XDR's flat global namespace maps directly onto the AOI root scope.  The
+interesting work is decoration expansion (``opaque x<42>`` becomes a bounded
+octet sequence; ``foo *next`` becomes :class:`AoiOptional`) and the lowering
+of rpcgen ``program``/``version`` blocks into AOI interfaces: each version
+becomes one interface named ``Program::Version`` with ``code = (program
+number, version number)`` and per-procedure integer request codes, which is
+exactly the identification the ONC RPC call header carries (RFC 1831).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlSemanticError
+from repro.aoi import (
+    AoiArray,
+    AoiBoolean,
+    AoiChar,
+    AoiConstant,
+    AoiEnum,
+    AoiFloat,
+    AoiInteger,
+    AoiInterface,
+    AoiNamedRef,
+    AoiOctet,
+    AoiOperation,
+    AoiOptional,
+    AoiParameter,
+    AoiRoot,
+    AoiSequence,
+    AoiString,
+    AoiStruct,
+    AoiStructField,
+    AoiUnion,
+    AoiUnionCase,
+    AoiVoid,
+    Direction,
+)
+from repro.oncrpc import ast
+from repro.oncrpc.ast import Decoration
+
+_PRIMITIVES = {
+    "int": AoiInteger(32, True),
+    "unsigned int": AoiInteger(32, False),
+    "hyper": AoiInteger(64, True),
+    "unsigned hyper": AoiInteger(64, False),
+    "short": AoiInteger(16, True),
+    "unsigned short": AoiInteger(16, False),
+    "char": AoiChar(),
+    "unsigned char": AoiOctet(),
+    "float": AoiFloat(32),
+    "double": AoiFloat(64),
+    "bool": AoiBoolean(),
+    "void": AoiVoid(),
+    "string": AoiString(None),
+}
+
+
+def oncrpc_to_aoi(specification, name="<oncrpc-idl>"):
+    """Lower an :class:`ast.XdrSpecification` to an :class:`AoiRoot`."""
+    return _Lowering(name).lower(specification)
+
+
+class _Lowering:
+    def __init__(self, name):
+        self.root = AoiRoot(name)
+        self.constants = {}
+        self._anonymous_counter = 0
+
+    def lower(self, specification):
+        for definition in specification.definitions:
+            if isinstance(definition, ast.XdrConst):
+                value = self.eval_value(definition.value)
+                self.constants[definition.name] = value
+                self.root.define_constant(
+                    AoiConstant(definition.name, AoiInteger(32, True), value)
+                )
+            elif isinstance(definition, ast.XdrTypedef):
+                self.lower_typedef(definition)
+            elif isinstance(definition, ast.XdrProgram):
+                self.lower_program(definition)
+            else:
+                raise IdlSemanticError(
+                    "unexpected definition %r" % type(definition).__name__
+                )
+        return self.root
+
+    # ------------------------------------------------------------------
+
+    def eval_value(self, value):
+        if value is None:
+            return None
+        if value.reference is not None:
+            if value.reference not in self.constants:
+                raise IdlSemanticError(
+                    "reference to undefined constant %r" % value.reference
+                )
+            return self.constants[value.reference]
+        return value.literal
+
+    def fresh_name(self, hint):
+        self._anonymous_counter += 1
+        return "%s_anon_%d" % (hint, self._anonymous_counter)
+
+    # ------------------------------------------------------------------
+
+    def lower_typedef(self, typedef):
+        declaration = typedef.declaration
+        aoi_type = self.lower_declaration(declaration, declaration.name)
+        if declaration.name in self.root.types:
+            # Inline struct/union/enum definitions register themselves under
+            # their own names; `struct foo {...};` at the top level arrives
+            # here as a typedef of foo to itself, which is a no-op.
+            if (
+                isinstance(aoi_type, AoiNamedRef)
+                and aoi_type.name == declaration.name
+            ):
+                return
+            raise IdlSemanticError(
+                "redefinition of type %r" % declaration.name
+            )
+        self.root.define_type(declaration.name, aoi_type)
+
+    def lower_declaration(self, declaration, name_hint):
+        """Lower one XDR declaration to the AOI type it declares."""
+        base = self.lower_type(declaration.type, name_hint)
+        decoration = declaration.decoration
+        size = self.eval_value(declaration.size)
+        if decoration == Decoration.PLAIN:
+            return base
+        if decoration == Decoration.FIXED_ARRAY:
+            if size is None or size <= 0:
+                raise IdlSemanticError(
+                    "fixed array %r needs a positive size" % name_hint
+                )
+            return AoiArray(base, size)
+        if decoration == Decoration.VAR_ARRAY:
+            return AoiSequence(base, size)
+        if decoration == Decoration.OPTIONAL:
+            return AoiOptional(base)
+        if decoration == Decoration.STRING:
+            return AoiString(size)
+        if decoration == Decoration.OPAQUE_FIXED:
+            return AoiArray(AoiOctet(), size)
+        if decoration == Decoration.OPAQUE_VAR:
+            return AoiSequence(AoiOctet(), size)
+        raise IdlSemanticError("unknown decoration %r" % decoration)
+
+    def lower_type(self, xdr_type, name_hint):
+        if isinstance(xdr_type, ast.XdrPrimitive):
+            try:
+                return _PRIMITIVES[xdr_type.kind]
+            except KeyError:
+                raise IdlSemanticError(
+                    "unsupported primitive %r" % xdr_type.kind
+                ) from None
+        if isinstance(xdr_type, ast.XdrNamed):
+            return AoiNamedRef(xdr_type.name)
+        if isinstance(xdr_type, ast.XdrEnumDef):
+            return self.lower_enum(xdr_type, name_hint)
+        if isinstance(xdr_type, ast.XdrStructDef):
+            return self.lower_struct(xdr_type, name_hint)
+        if isinstance(xdr_type, ast.XdrUnionDef):
+            return self.lower_union(xdr_type, name_hint)
+        raise IdlSemanticError(
+            "unsupported type %r" % type(xdr_type).__name__
+        )
+
+    def lower_enum(self, enum_def, name_hint):
+        name = enum_def.name or self.fresh_name(name_hint or "enum")
+        members = []
+        next_value = 0
+        for member_name, member_value in enum_def.members:
+            if member_value is not None:
+                next_value = self.eval_value(member_value)
+            members.append((member_name, next_value))
+            self.constants[member_name] = next_value
+            next_value += 1
+        aoi_enum = AoiEnum(name, tuple(members))
+        self.root.define_type(name, aoi_enum)
+        return AoiNamedRef(name)
+
+    def lower_struct(self, struct_def, name_hint):
+        name = struct_def.name or self.fresh_name(name_hint or "struct")
+        fields = tuple(
+            AoiStructField(
+                member.name,
+                self.lower_declaration(member, "%s.%s" % (name, member.name)),
+            )
+            for member in struct_def.members
+        )
+        self.root.define_type(name, AoiStruct(name, fields))
+        return AoiNamedRef(name)
+
+    def lower_union(self, union_def, name_hint):
+        name = union_def.name or self.fresh_name(name_hint or "union")
+        discriminator = self.lower_declaration(
+            union_def.discriminator, "%s.discriminator" % name
+        )
+        cases = []
+        for case in union_def.cases:
+            values = tuple(self.eval_value(value) for value in case.values)
+            declaration = case.declaration
+            case_type = (
+                AoiVoid()
+                if declaration.is_void
+                else self.lower_declaration(
+                    declaration, "%s.%s" % (name, declaration.name)
+                )
+            )
+            cases.append(
+                AoiUnionCase(values, declaration.name or "_void", case_type)
+            )
+        if union_def.default is not None:
+            declaration = union_def.default
+            case_type = (
+                AoiVoid()
+                if declaration.is_void
+                else self.lower_declaration(
+                    declaration, "%s.default" % name
+                )
+            )
+            cases.append(
+                AoiUnionCase((), declaration.name or "_default", case_type)
+            )
+        self.root.define_type(
+            name, AoiUnion(name, discriminator, tuple(cases))
+        )
+        return AoiNamedRef(name)
+
+    # ------------------------------------------------------------------
+
+    def lower_program(self, program):
+        for version in program.versions:
+            operations = []
+            for procedure in version.procedures:
+                parameters = tuple(
+                    AoiParameter(
+                        "arg%d" % index,
+                        self.lower_type(argument, procedure.name),
+                        Direction.IN,
+                    )
+                    for index, argument in enumerate(procedure.arguments, 1)
+                )
+                operations.append(
+                    AoiOperation(
+                        procedure.name,
+                        parameters,
+                        self.lower_type(procedure.result, procedure.name),
+                        request_code=procedure.number,
+                    )
+                )
+            self.root.add_interface(
+                AoiInterface(
+                    "%s::%s" % (program.name, version.name),
+                    tuple(operations),
+                    code=(program.number, version.number),
+                )
+            )

@@ -1,0 +1,43 @@
+"""Presentation generators (paper section 2.2).
+
+A presentation generator decides how an AOI interface maps onto target
+language constructs — function names and signatures, parameter passing
+conventions, record and union layouts, exception surfacing.  The generic
+machinery lives in :class:`repro.pgen.base.PresentationGenerator`; the
+concrete generators specialize only naming and C-declaration policy, which
+is why (as in the paper's Table 1) they are small.
+"""
+
+from repro.pgen.base import PresentationGenerator
+from repro.pgen.corba_c import CorbaCLenPresentation, CorbaCPresentation
+from repro.pgen.rpcgen import RpcgenPresentation
+from repro.pgen.fluke import FlukePresentation
+
+PRESENTATIONS = {
+    "corba-c": CorbaCPresentation,
+    "corba-c-len": CorbaCLenPresentation,
+    "rpcgen": RpcgenPresentation,
+    "fluke": FlukePresentation,
+}
+
+
+def make_presentation(style):
+    """Instantiate a presentation generator by registry name."""
+    try:
+        return PRESENTATIONS[style]()
+    except KeyError:
+        raise ValueError(
+            "unknown presentation style %r (have: %s)"
+            % (style, ", ".join(sorted(PRESENTATIONS)))
+        ) from None
+
+
+__all__ = [
+    "CorbaCLenPresentation",
+    "CorbaCPresentation",
+    "FlukePresentation",
+    "PRESENTATIONS",
+    "PresentationGenerator",
+    "RpcgenPresentation",
+    "make_presentation",
+]

@@ -1,0 +1,38 @@
+"""The Fluke presentation generator.
+
+Fluke's presentation (paper Table 1 derives it from the CORBA presentation
+library) follows the CORBA C mapping but prefixes stub names with
+``fluke_`` and drops the environment parameter in favour of an integer
+return code — the style used by the Fluke microkernel's servers, where
+stubs are invoked from the kernel's dispatch loop.
+"""
+
+from __future__ import annotations
+
+from repro.cast import nodes as c
+from repro.pgen.corba_c import CorbaCPresentation
+
+
+class FlukePresentation(CorbaCPresentation):
+    """Fluke kernel-IPC presentation, derived from the CORBA C mapping."""
+
+    style = "fluke"
+
+    def stub_name(self, interface, operation):
+        return "fluke_%s_%s" % (self.mangle(interface.name), operation.name)
+
+    def c_stub_decl(self, interface, operation, stub_name, parameters):
+        declaration = super().c_stub_decl(
+            interface, operation, stub_name, parameters
+        )
+        # Replace the trailing CORBA_Environment with an int return code:
+        # Fluke stubs report failure through their return value.
+        params = tuple(
+            parameter for parameter in declaration.parameters
+            if parameter.name != "_ev"
+        )
+        if isinstance(declaration.return_type, c.TypeName) and (
+            declaration.return_type.name == "void"
+        ):
+            return c.FuncDecl(c.TypeName("int"), stub_name, params)
+        return c.FuncDecl(declaration.return_type, stub_name, params)

@@ -1,0 +1,63 @@
+"""PRES and PRES_C (paper sections 2.2.3-2.2.4).
+
+A PRES node defines the *type conversion* between a MINT message type and a
+target-language type: a direct atom mapping, an OPT_PTR null-able pointer, a
+counted array, a struct field mapping, and so on.  PRES_C bundles, for every
+stub of an interface presentation, the CAST declaration, the request/reply
+MINT types, and the PRES trees tying them together — everything a back end
+needs, and nothing about transports.
+"""
+
+from repro.pres.nodes import (
+    PresBytes,
+    PresCountedArray,
+    PresDirect,
+    PresEnum,
+    PresException,
+    PresFixedArray,
+    PresNode,
+    PresOptPtr,
+    PresRef,
+    PresRegistry,
+    PresString,
+    PresStruct,
+    PresStructField,
+    PresUnion,
+    PresUnionArm,
+    PresVoid,
+)
+from repro.pres.presc import PresC, PresCStub, PresParam
+from repro.pres.values import (
+    get_field,
+    make_union,
+    normalize,
+    union_parts,
+)
+from repro.pres.interp import InterpretiveCodec
+
+__all__ = [
+    "InterpretiveCodec",
+    "PresBytes",
+    "PresC",
+    "PresCStub",
+    "PresCountedArray",
+    "PresDirect",
+    "PresEnum",
+    "PresException",
+    "PresFixedArray",
+    "PresNode",
+    "PresOptPtr",
+    "PresParam",
+    "PresRef",
+    "PresRegistry",
+    "PresString",
+    "PresStruct",
+    "PresStructField",
+    "PresUnion",
+    "PresUnionArm",
+    "PresVoid",
+    "get_field",
+    "make_union",
+    "normalize",
+    "union_parts",
+]

@@ -1,0 +1,323 @@
+"""The interpretive marshaler: runtime PRES-tree walking.
+
+This is the reference implementation of every encoding — a direct,
+unoptimized interpreter over PRES/MINT graphs, performing one function call
+(and one buffer check) per atomic datum.  It plays two roles:
+
+* Ground truth for the property-based tests: optimized generated stubs must
+  produce byte-identical messages.
+* The engine of the ILU-style baseline compiler (paper section 5: ILU
+  "merely traverses the AST, emitting marshal statements for each datum,
+  which are typically expensive calls to type-specific marshaling
+  functions"), and of the SunSoft-IIOP-style interpretive ORB.
+
+Structs decode to plain dicts; generated record classes are a compiled-stub
+luxury the interpreter does not have.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MarshalError, UnmarshalError
+from repro.encoding.buffer import MarshalBuffer, ReadCursor
+from repro.mint.types import MintChar
+from repro.pres import nodes as p
+from repro.pres.values import get_field, make_union, union_parts
+
+
+class InterpretiveCodec:
+    """Encodes and decodes presented values by walking PRES trees."""
+
+    def __init__(self, wire_format, pres_registry=None, mint_registry=None):
+        self.format = wire_format
+        self.pres_registry = pres_registry or p.PresRegistry()
+        self.mint_registry = mint_registry
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, pres, value, buffer=None):
+        """Encode *value* as described by *pres*; return the buffer."""
+        if buffer is None:
+            buffer = MarshalBuffer()
+        self._encode(pres, value, buffer)
+        return buffer
+
+    def _encode(self, pres, value, buffer):
+        if isinstance(pres, p.PresRef):
+            self._encode(self.pres_registry[pres.name], value, buffer)
+        elif isinstance(pres, p.PresVoid):
+            pass
+        elif isinstance(pres, (p.PresDirect, p.PresEnum)):
+            self.format.pack_atom(buffer, pres.mint, value)
+        elif isinstance(pres, p.PresString):
+            self._encode_string(pres, value, buffer)
+        elif isinstance(pres, p.PresBytes):
+            self._encode_bytes(pres, value, buffer)
+        elif isinstance(pres, p.PresFixedArray):
+            if len(value) != pres.length:
+                raise MarshalError(
+                    "fixed array needs %d elements, got %d"
+                    % (pres.length, len(value))
+                )
+            self._write_array_header(pres.mint, pres.length, buffer)
+            for element in value:
+                self._encode(pres.element, element, buffer)
+            self._pad_array(pres.mint, buffer)
+        elif isinstance(pres, p.PresCountedArray):
+            if pres.bound is not None and len(value) > pres.bound:
+                raise MarshalError(
+                    "array exceeds bound %d: %d elements"
+                    % (pres.bound, len(value))
+                )
+            self._write_array_header(pres.mint, len(value), buffer)
+            for element in value:
+                self._encode(pres.element, element, buffer)
+            self._pad_array(pres.mint, buffer)
+        elif isinstance(pres, p.PresOptPtr):
+            if value is None:
+                self._write_array_header(pres.mint, 0, buffer)
+            else:
+                self._write_array_header(pres.mint, 1, buffer)
+                self._encode(pres.element, value, buffer)
+        elif isinstance(pres, p.PresStruct):
+            for struct_field in pres.fields:
+                self._encode(
+                    struct_field.pres, get_field(value, struct_field.name),
+                    buffer,
+                )
+        elif isinstance(pres, p.PresUnion):
+            discriminator, payload = union_parts(value)
+            arm = pres.arm_for(discriminator)
+            self.format.pack_atom(
+                buffer, pres.mint.discriminator, discriminator
+            )
+            self._encode(arm.pres, payload, buffer)
+        elif isinstance(pres, p.PresException):
+            for struct_field in pres.fields:
+                self._encode(
+                    struct_field.pres, get_field(value, struct_field.name),
+                    buffer,
+                )
+        else:
+            raise MarshalError(
+                "cannot encode PRES node %r" % type(pres).__name__
+            )
+
+    def _write_array_header(self, mint_array, count, buffer):
+        header = self.format.array_header_size(mint_array)
+        if header == 0:
+            return
+        if header == 4:
+            padding = -buffer.length % self.format.array_header_alignment(
+                mint_array
+            )
+            offset = buffer.reserve(4 + padding) + padding
+            if padding:
+                buffer.data[offset - padding : offset] = b"\0" * padding
+            struct.pack_into(
+                self.format.endian + "I", buffer.data, offset, count
+            )
+        elif header == 8:
+            # Mach typed-message descriptor.
+            padding = -buffer.length % 4
+            offset = buffer.reserve(8 + padding) + padding
+            if padding:
+                buffer.data[offset - padding : offset] = b"\0" * padding
+            struct.pack_into(
+                self.format.endian + "II", buffer.data, offset,
+                self.format.descriptor_word(self._descriptor_atom(mint_array)),
+                count,
+            )
+        else:
+            raise MarshalError("unsupported array header size %d" % header)
+
+    def _descriptor_atom(self, mint_array):
+        element = mint_array.element
+        if self.mint_registry is not None:
+            element = self.mint_registry.resolve(element)
+        from repro.mint.types import is_atom
+
+        if is_atom(element):
+            return element
+        # Aggregates ship as byte runs behind a byte descriptor.
+        from repro.mint.types import MintInteger
+
+        return MintInteger(8, False)
+
+    def _pad_array(self, mint_array, buffer):
+        # Trailing padding for byte-packed runs (XDR and Mach pad to 4).
+        if not self.format.pads_byte_runs(mint_array):
+            return
+        padding = -buffer.length % 4
+        if padding:
+            offset = buffer.reserve(padding)
+            buffer.data[offset : offset + padding] = b"\0" * padding
+
+    def _encode_string(self, pres, value, buffer):
+        if pres.bound is not None and len(value) > pres.bound:
+            raise MarshalError(
+                "string exceeds bound %d: %d chars" % (pres.bound, len(value))
+            )
+        if getattr(pres, "carries_length", False):
+            data = bytes(value)
+        else:
+            data = value.encode("latin-1")
+        nul = 1 if self.format.string_nul_terminated else 0
+        self._write_array_header(pres.mint, len(data) + nul, buffer)
+        offset = buffer.reserve(len(data) + nul)
+        buffer.data[offset : offset + len(data)] = data
+        if nul:
+            buffer.data[offset + len(data)] = 0
+        self._pad_array(pres.mint, buffer)
+
+    def _encode_bytes(self, pres, value, buffer):
+        if pres.fixed_length is not None and len(value) != pres.fixed_length:
+            raise MarshalError(
+                "opaque data must be exactly %d bytes, got %d"
+                % (pres.fixed_length, len(value))
+            )
+        if pres.bound is not None and len(value) > pres.bound:
+            raise MarshalError(
+                "opaque data exceeds bound %d: %d bytes"
+                % (pres.bound, len(value))
+            )
+        self._write_array_header(pres.mint, len(value), buffer)
+        offset = buffer.reserve(len(value))
+        buffer.data[offset : offset + len(value)] = value
+        self._pad_array(pres.mint, buffer)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def decode(self, pres, data):
+        """Decode one value described by *pres* from *data* (bytes or
+        cursor); returns ``(value, cursor)``."""
+        cursor = data if isinstance(data, ReadCursor) else ReadCursor(data)
+        return self._decode(pres, cursor), cursor
+
+    def _decode(self, pres, cursor):
+        if isinstance(pres, p.PresRef):
+            return self._decode(self.pres_registry[pres.name], cursor)
+        if isinstance(pres, p.PresVoid):
+            return None
+        if isinstance(pres, (p.PresDirect, p.PresEnum)):
+            return self.format.unpack_atom(cursor, pres.mint)
+        if isinstance(pres, p.PresString):
+            return self._decode_string(pres, cursor)
+        if isinstance(pres, p.PresBytes):
+            return self._decode_bytes(pres, cursor)
+        if isinstance(pres, p.PresFixedArray):
+            count = self._read_array_header(pres.mint, cursor)
+            if count is not None and count != pres.length:
+                raise UnmarshalError(
+                    "fixed array length %d does not match %d"
+                    % (count, pres.length)
+                )
+            value = [
+                self._decode(pres.element, cursor)
+                for _ in range(pres.length)
+            ]
+            self._skip_padding(pres.mint, cursor)
+            return value
+        if isinstance(pres, p.PresCountedArray):
+            count = self._read_array_header(pres.mint, cursor)
+            if count is None:
+                raise UnmarshalError("counted array without a length header")
+            if pres.bound is not None and count > pres.bound:
+                raise UnmarshalError(
+                    "received array exceeds bound %d: %d" % (pres.bound, count)
+                )
+            value = [self._decode(pres.element, cursor) for _ in range(count)]
+            self._skip_padding(pres.mint, cursor)
+            return value
+        if isinstance(pres, p.PresOptPtr):
+            count = self._read_array_header(pres.mint, cursor)
+            if count == 0:
+                return None
+            if count != 1:
+                raise UnmarshalError(
+                    "optional data with count %r" % (count,)
+                )
+            return self._decode(pres.element, cursor)
+        if isinstance(pres, p.PresStruct):
+            return {
+                struct_field.name: self._decode(struct_field.pres, cursor)
+                for struct_field in pres.fields
+            }
+        if isinstance(pres, p.PresUnion):
+            discriminator = self.format.unpack_atom(
+                cursor, pres.mint.discriminator
+            )
+            arm = pres.arm_for(discriminator)
+            return make_union(discriminator, self._decode(arm.pres, cursor))
+        if isinstance(pres, p.PresException):
+            return {
+                struct_field.name: self._decode(struct_field.pres, cursor)
+                for struct_field in pres.fields
+            }
+        raise UnmarshalError(
+            "cannot decode PRES node %r" % type(pres).__name__
+        )
+
+    def _read_array_header(self, mint_array, cursor):
+        header = self.format.array_header_size(mint_array)
+        if header == 0:
+            return None
+        if header == 4:
+            cursor.align(self.format.array_header_alignment(mint_array))
+            offset = cursor.advance(4)
+            (count,) = struct.unpack_from(
+                self.format.endian + "I", cursor.data, offset
+            )
+            return count
+        if header == 8:
+            cursor.align(4)
+            offset = cursor.advance(8)
+            _descriptor, count = struct.unpack_from(
+                self.format.endian + "II", cursor.data, offset
+            )
+            return count
+        raise UnmarshalError("unsupported array header size %d" % header)
+
+    def _skip_padding(self, mint_array, cursor):
+        if not self.format.pads_byte_runs(mint_array):
+            return
+        padding = -cursor.offset % 4
+        if padding:
+            cursor.advance(padding)
+
+    def _decode_string(self, pres, cursor):
+        count = self._read_array_header(pres.mint, cursor)
+        if count is None:
+            raise UnmarshalError("string without a length header")
+        nul = 1 if self.format.string_nul_terminated else 0
+        if count < nul:
+            raise UnmarshalError("string length %d too short" % count)
+        data = cursor.take(count)
+        if nul:
+            data = data[:-1]
+        self._skip_padding(pres.mint, cursor)
+        if getattr(pres, "carries_length", False):
+            return data
+        return data.decode("latin-1")
+
+    def _decode_bytes(self, pres, cursor):
+        if pres.fixed_length is not None:
+            count = self._read_array_header(pres.mint, cursor)
+            if count is not None and count != pres.fixed_length:
+                raise UnmarshalError(
+                    "fixed opaque length %d does not match %d"
+                    % (count, pres.fixed_length)
+                )
+            data = cursor.take(pres.fixed_length)
+        else:
+            count = self._read_array_header(pres.mint, cursor)
+            if count is None:
+                raise UnmarshalError("opaque data without a length header")
+            data = cursor.take(count)
+        self._skip_padding(pres.mint, cursor)
+        return data

@@ -1,0 +1,104 @@
+"""PRES_C: the complete description of one interface presentation.
+
+A PRES_C value is the contract between a presentation generator and a back
+end (paper section 2.2.4): for each stub it carries the CAST declaration,
+the MINT descriptions of the messages the stub sends and receives, and the
+PRES trees associating the two.  It says *everything* about how client or
+server code sees the interface and *nothing* about message encoding or
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cast.nodes import FuncDecl
+from repro.mint.types import MintRegistry, MintType
+from repro.pres.nodes import PresNode, PresRegistry, PresStruct, PresUnion
+
+
+@dataclass(frozen=True)
+class PresParam:
+    """One presented parameter of a stub.
+
+    ``direction`` is ``"in"``, ``"out"``, ``"inout"``, or ``"return"``.
+    """
+
+    name: str
+    direction: str
+    pres: PresNode
+
+    @property
+    def is_in(self):
+        return self.direction in ("in", "inout")
+
+    @property
+    def is_out(self):
+        return self.direction in ("out", "inout", "return")
+
+
+@dataclass(frozen=True)
+class PresCStub:
+    """Everything a back end needs to implement one operation's stubs.
+
+    Attributes:
+        request_pres: a :class:`PresStruct` over the request MINT whose
+            fields are the in-flowing parameters.
+        reply_pres: a :class:`PresUnion` over the reply MINT (success arm
+            plus one arm per exception), or ``None`` for oneway operations.
+    """
+
+    operation_name: str
+    stub_name: str
+    request_code: object
+    oneway: bool
+    parameters: Tuple[PresParam, ...]
+    request_pres: PresStruct
+    reply_pres: Optional[PresUnion]
+    c_decl: FuncDecl
+
+    def in_parameters(self):
+        return tuple(p for p in self.parameters if p.is_in)
+
+    def out_parameters(self):
+        return tuple(
+            p for p in self.parameters
+            if p.direction in ("out", "inout")
+        )
+
+    @property
+    def return_param(self):
+        for parameter in self.parameters:
+            if parameter.direction == "return":
+                return parameter
+        return None
+
+
+@dataclass
+class PresC:
+    """A complete presentation of one interface for one side.
+
+    ``side`` is ``"client"`` or ``"server"`` — presentation generators
+    create separate PRES_C values per side, as Flick does; for the
+    presentations implemented here the two differ only in which stub
+    bodies a back end will generate, so the structural content is shared.
+    """
+
+    interface_name: str
+    interface_code: object
+    side: str
+    presentation_style: str
+    stubs: Tuple[PresCStub, ...]
+    mint_registry: MintRegistry
+    pres_registry: PresRegistry
+    #: Top-level CAST declarations (typedefs, structs, prototypes).
+    c_decls: Tuple[object, ...] = ()
+    #: Exception presentation: AOI exception name -> generated class name.
+    exception_classes: Dict[str, str] = field(default_factory=dict)
+
+    def stub_named(self, operation_name):
+        for stub in self.stubs:
+            if stub.operation_name == operation_name:
+                return stub
+        raise KeyError(operation_name)

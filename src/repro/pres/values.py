@@ -1,0 +1,117 @@
+"""Helpers over presented Python values.
+
+Generated record classes, plain mappings (as produced by the interpretive
+baseline), and ``(discriminator, payload)`` union pairs all flow through
+the same stubs and tests; these helpers give every component one way to
+read them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MarshalError
+
+
+def get_field(value, name):
+    """Read struct field *name* from a record object or a mapping."""
+    if isinstance(value, dict):
+        try:
+            return value[name]
+        except KeyError:
+            raise MarshalError(
+                "struct value is missing field %r" % name
+            ) from None
+    try:
+        return getattr(value, name)
+    except AttributeError:
+        raise MarshalError(
+            "struct value %r has no field %r" % (type(value).__name__, name)
+        ) from None
+
+
+def make_union(discriminator, payload):
+    """Build the canonical presented union value."""
+    return (discriminator, payload)
+
+
+def union_parts(value):
+    """Split a presented union value into (discriminator, payload)."""
+    try:
+        discriminator, payload = value
+    except (TypeError, ValueError):
+        raise MarshalError(
+            "union value must be a (discriminator, payload) pair, got %r"
+            % (value,)
+        ) from None
+    return discriminator, payload
+
+
+class Record:
+    """Base class for generated record classes.
+
+    Subclasses define ``_fields`` and ``__slots__``; equality and repr are
+    field-wise, and :func:`normalize` converts them to dicts so records
+    produced by different compilers compare equal.
+    """
+
+    __slots__ = ()
+    _fields = ()
+
+    def __init__(self, *args, **kwargs):
+        fields = self._fields
+        if len(args) > len(fields):
+            raise TypeError(
+                "%s takes at most %d arguments"
+                % (type(self).__name__, len(fields))
+            )
+        for name, value in zip(fields, args):
+            setattr(self, name, value)
+        for name, value in kwargs.items():
+            if name not in fields:
+                raise TypeError(
+                    "%s has no field %r" % (type(self).__name__, name)
+                )
+            setattr(self, name, value)
+
+    def __eq__(self, other):
+        if isinstance(other, Record):
+            if self._fields != other._fields:
+                return NotImplemented
+            return all(
+                getattr(self, name) == getattr(other, name)
+                for name in self._fields
+            )
+        return NotImplemented
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%r" % (name, getattr(self, name, None))
+            for name in self._fields
+        )
+        return "%s(%s)" % (type(self).__name__, parts)
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self._fields}
+
+
+def normalize(value):
+    """Recursively convert presented values to plain Python data.
+
+    Records become dicts, lists are normalized element-wise, and union
+    pairs keep their shape.  Two values produced by different compilers
+    (e.g. Flick record objects vs. interpretive dicts) normalize equal
+    exactly when they present the same message.
+    """
+    if isinstance(value, Record):
+        return {name: normalize(item) for name, item in value.to_dict().items()}
+    if isinstance(value, dict):
+        return {name: normalize(item) for name, item in value.items()}
+    if isinstance(value, tuple):
+        return tuple(normalize(item) for item in value)
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    if isinstance(value, BaseException):
+        result = {"_exception": type(value).__name__}
+        for name in getattr(value, "_fields", ()):
+            result[name] = normalize(getattr(value, name))
+        return result
+    return value

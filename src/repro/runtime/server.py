@@ -1,0 +1,37 @@
+"""Convenience server wrapper pairing generated stubs with a servant."""
+
+from __future__ import annotations
+
+from repro.encoding.buffer import MarshalBuffer
+from repro.runtime.transport import LoopbackTransport
+from repro.runtime.socket_transport import TcpServer, UdpServer
+
+
+class StubServer:
+    """Binds a generated stub module's dispatch to an implementation.
+
+    Provides direct (in-process) serving plus helpers to expose the same
+    servant over TCP or UDP.
+    """
+
+    def __init__(self, module, impl):
+        self.module = module
+        self.impl = impl
+        self._buffer = MarshalBuffer()
+
+    def serve_bytes(self, request):
+        """Serve one raw request; returns reply bytes or None (oneway)."""
+        self._buffer.reset()
+        if self.module.dispatch(request, self.impl, self._buffer):
+            return self._buffer.getvalue()
+        return None
+
+    def loopback_transport(self):
+        """An in-process transport bound to this servant."""
+        return LoopbackTransport(self.module.dispatch, self.impl)
+
+    def tcp_server(self, host="127.0.0.1", port=0):
+        return TcpServer(self.module.dispatch, self.impl, host, port)
+
+    def udp_server(self, host="127.0.0.1", port=0):
+        return UdpServer(self.module.dispatch, self.impl, host, port)

@@ -1,0 +1,208 @@
+"""Real socket transports: TCP (with record framing) and UDP.
+
+These carry generated messages over the loopback (or any) network for the
+examples and integration tests.  TCP framing follows ONC RPC's record
+marking convention (RFC 1831 section 10): each record is preceded by a
+4-byte big-endian word whose top bit marks the final fragment and whose low
+31 bits give the fragment length.  UDP sends each message as one datagram.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.errors import TransportError
+from repro.encoding.buffer import MarshalBuffer
+from repro.runtime.transport import Transport
+
+_LAST_FRAGMENT = 0x80000000
+MAX_UDP_SIZE = 65000
+
+
+def _send_record(sock, payload):
+    header = struct.pack(">I", _LAST_FRAGMENT | len(payload))
+    sock.sendall(header)
+    sock.sendall(payload)
+
+
+def _recv_exact(sock, size):
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-record")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_record(sock):
+    fragments = []
+    while True:
+        (word,) = struct.unpack(">I", _recv_exact(sock, 4))
+        length = word & ~_LAST_FRAGMENT
+        fragments.append(_recv_exact(sock, length))
+        if word & _LAST_FRAGMENT:
+            return b"".join(fragments)
+
+
+class TcpClientTransport(Transport):
+    """A framed TCP connection to a :class:`TcpServer`."""
+
+    def __init__(self, host, port, timeout=10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def call(self, request):
+        _send_record(self._sock, bytes(request))
+        return _recv_record(self._sock)
+
+    def send(self, request):
+        _send_record(self._sock, bytes(request))
+
+    def close(self):
+        self._sock.close()
+
+
+class TcpServer:
+    """A threaded TCP server around a generated dispatch function.
+
+    Each connection is served on its own thread; requests are dispatched
+    in order per connection, matching ONC RPC over TCP semantics.
+    """
+
+    def __init__(self, dispatch, impl, host="127.0.0.1", port=0):
+        self._dispatch = dispatch
+        self._impl = impl
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._running = False
+        self._thread = None
+
+    def start(self):
+        self._running = True
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def _accept_loop(self):
+        while self._running:
+            try:
+                connection, _peer = self._listener.accept()
+            except OSError:
+                return
+            worker = threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            )
+            worker.start()
+
+    def _serve_connection(self, connection):
+        buffer = MarshalBuffer()
+        try:
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    request = _recv_record(connection)
+                except TransportError:
+                    return
+                buffer.reset()
+                if self._dispatch(request, self._impl, buffer):
+                    _send_record(connection, buffer.view())
+        finally:
+            connection.close()
+
+    def stop(self):
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        return False
+
+
+class UdpClientTransport(Transport):
+    """Datagram transport; one message per datagram, like ONC over UDP."""
+
+    def __init__(self, host, port, timeout=10.0):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.settimeout(timeout)
+        self._address = (host, port)
+
+    def call(self, request):
+        payload = bytes(request)
+        if len(payload) > MAX_UDP_SIZE:
+            raise TransportError(
+                "message of %d bytes exceeds the UDP limit" % len(payload)
+            )
+        self._sock.sendto(payload, self._address)
+        reply, _peer = self._sock.recvfrom(65536)
+        return reply
+
+    def send(self, request):
+        payload = bytes(request)
+        if len(payload) > MAX_UDP_SIZE:
+            raise TransportError(
+                "message of %d bytes exceeds the UDP limit" % len(payload)
+            )
+        self._sock.sendto(payload, self._address)
+
+    def close(self):
+        self._sock.close()
+
+
+class UdpServer:
+    """A single-threaded UDP server around a generated dispatch."""
+
+    def __init__(self, dispatch, impl, host="127.0.0.1", port=0):
+        self._dispatch = dispatch
+        self._impl = impl
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self.address = self._sock.getsockname()
+        self._running = False
+        self._thread = None
+
+    def start(self):
+        self._running = True
+        self._sock.settimeout(0.2)
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve_loop(self):
+        buffer = MarshalBuffer()
+        while self._running:
+            try:
+                request, peer = self._sock.recvfrom(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            buffer.reset()
+            if self._dispatch(request, self._impl, buffer):
+                self._sock.sendto(buffer.getvalue(), peer)
+
+    def stop(self):
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self._sock.close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        return False

@@ -1,0 +1,316 @@
+"""The ``flick`` command-line interface.
+
+Mirrors the compiler-kit usage of the paper: pick a front end, a
+presentation generator, and a back end, and get stubs out::
+
+    flick compile mail.idl --frontend corba --backend iiop -o out/
+    flick compile db.x --frontend oncrpc --backend oncrpc-xdr --emit c,py
+    flick compile arith.defs --frontend mig -o out/
+    flick compile mail.idl --baseline rpcgen      # a comparator's stubs
+    flick inspect mail.idl                        # storage/demux analyses
+    flick list
+
+Output files are written as ``<interface>_<backend>.py``, ``...c``, and
+``...h`` under the output directory (default: the current directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.errors import FlickError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="flick",
+        description="Flick: a flexible, optimizing IDL compiler"
+                    " (PLDI 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile an IDL file to stubs"
+    )
+    compile_parser.add_argument("input", help="IDL source file")
+    compile_parser.add_argument(
+        "--frontend", choices=("corba", "oncrpc", "mig"), default=None,
+        help="IDL front end (default: guessed from the file suffix)",
+    )
+    compile_parser.add_argument(
+        "--pgen", default=None,
+        help="presentation style (corba-c, rpcgen, fluke)",
+    )
+    compile_parser.add_argument(
+        "--backend", default=None,
+        help="back end (iiop, oncrpc-xdr, mach3, fluke)",
+    )
+    compile_parser.add_argument(
+        "--interface", default=None,
+        help="interface to compile (required if the file defines several)",
+    )
+    compile_parser.add_argument(
+        "-o", "--output", default=".", help="output directory"
+    )
+    compile_parser.add_argument(
+        "--emit", default="py,c,h",
+        help="comma-separated outputs: py, c, h (default: all)",
+    )
+    compile_parser.add_argument(
+        "--no-opt", action="store_true",
+        help="disable all back-end optimizations",
+    )
+    compile_parser.add_argument(
+        "--disable", default="",
+        help="comma-separated OptFlags fields to turn off"
+             " (e.g. chunk_atoms,memcpy_arrays)",
+    )
+    compile_parser.add_argument(
+        "--little-endian", action="store_true",
+        help="generate little-endian CDR stubs (IIOP back end only)",
+    )
+    compile_parser.add_argument(
+        "--baseline", default=None,
+        help="generate stubs with a comparator compiler instead of Flick"
+             " (rpcgen, powerrpc, orbeline, ilu, mig)",
+    )
+
+    inspect_parser = sub.add_parser(
+        "inspect",
+        help="explain what the compiler would generate for an IDL file",
+    )
+    inspect_parser.add_argument("input", help="IDL source file")
+    inspect_parser.add_argument("--frontend", default=None)
+    inspect_parser.add_argument("--pgen", default=None)
+    inspect_parser.add_argument("--backend", default=None)
+    inspect_parser.add_argument("--interface", default=None)
+
+    sub.add_parser("list", help="list front ends, presentations, back ends")
+    return parser
+
+
+_SUFFIX_FRONTENDS = {
+    ".idl": "corba",
+    ".x": "oncrpc",
+    ".defs": "mig",
+}
+
+
+def _guess_frontend(path):
+    _root, suffix = os.path.splitext(path)
+    return _SUFFIX_FRONTENDS.get(suffix, "corba")
+
+
+def _build_flags(args):
+    from repro.core import OptFlags
+
+    flags = OptFlags.all_off() if args.no_opt else OptFlags()
+    disabled = [name for name in args.disable.split(",") if name]
+    if disabled:
+        flags = flags.but(**{name: False for name in disabled})
+    return flags
+
+
+def _compile_mig(args, text):
+    from repro.backend import make_backend
+    from repro.mig import compile_mig_idl
+
+    presc = compile_mig_idl(text, args.input)
+    backend = make_backend(args.backend or "mach3")
+    return [backend.generate(presc, _build_flags(args))]
+
+
+def _apply_baseline(args, all_prescs):
+    from repro.compilers import make_baseline
+
+    compiler = make_baseline(args.baseline)
+    return [compiler.generate(presc) for presc in all_prescs]
+
+
+def command_compile(args):
+    with open(args.input) as handle:
+        text = handle.read()
+    frontend = args.frontend or _guess_frontend(args.input)
+    if frontend == "mig":
+        if args.baseline:
+            from repro.compilers import make_baseline
+            from repro.mig import compile_mig_idl
+
+            presc = compile_mig_idl(text, args.input)
+            all_stubs = [make_baseline(args.baseline).generate(presc)]
+        else:
+            all_stubs = _compile_mig(args, text)
+    else:
+        from repro.core import Flick
+
+        backend_options = {}
+        if getattr(args, "little_endian", False):
+            if args.backend not in (None, "iiop"):
+                raise FlickError(
+                    "--little-endian applies only to the iiop back end"
+                )
+            backend_options["little_endian"] = True
+        flick = Flick(
+            frontend=frontend,
+            presentation=args.pgen,
+            backend=args.backend,
+            flags=_build_flags(args),
+            **backend_options,
+        )
+        if args.interface:
+            results = [
+                flick.compile(text, interface=args.interface,
+                              name=args.input)
+            ]
+        else:
+            by_name = flick.compile_all(text, name=args.input)
+            if not by_name:
+                raise FlickError("the input defines no interfaces")
+            results = list(by_name.values())
+        if args.baseline:
+            all_stubs = _apply_baseline(
+                args, [result.presc for result in results]
+            )
+        else:
+            all_stubs = [result.stubs for result in results]
+    emit = {kind.strip() for kind in args.emit.split(",") if kind.strip()}
+    os.makedirs(args.output, exist_ok=True)
+    if "c" in emit or "h" in emit:
+        # Ship the support header alongside the generated C so it
+        # compiles out of the box.
+        import shutil
+
+        from repro.backend import runtime_header_path
+
+        shutil.copy(
+            runtime_header_path(),
+            os.path.join(args.output, "flick-runtime.h"),
+        )
+    for stubs in all_stubs:
+        base = os.path.join(
+            args.output,
+            "%s_%s" % (
+                stubs.interface_name.replace("::", "_").lower(),
+                stubs.backend_name.replace("-", "_"),
+            ),
+        )
+        written = []
+        if "py" in emit:
+            _write(base + ".py", stubs.py_source, written)
+        if "c" in emit:
+            _write(base + ".c", stubs.c_source, written)
+        if "h" in emit:
+            _write(base + ".h", stubs.c_header, written)
+        print(
+            "compiled %s (%s presentation, %s back end): %s"
+            % (
+                stubs.interface_name,
+                stubs.presentation_style,
+                stubs.backend_name,
+                ", ".join(written),
+            )
+        )
+    return 0
+
+
+def _write(path, content, written):
+    with open(path, "w") as handle:
+        handle.write(content)
+    written.append(path)
+
+
+def command_inspect(args):
+    """Explain the compiler's analyses for each operation."""
+    from repro.core import Flick
+    from repro.mint.analysis import analyze_storage
+    from repro.backend import make_backend
+
+    with open(args.input) as handle:
+        text = handle.read()
+    frontend = args.frontend or _guess_frontend(args.input)
+    if frontend == "mig":
+        from repro.mig import compile_mig_idl
+
+        prescs = [compile_mig_idl(text, args.input)]
+        backend_name = args.backend or "mach3"
+    else:
+        flick = Flick(frontend=frontend, presentation=args.pgen,
+                      backend=args.backend)
+        backend_name = flick.backend
+        if args.interface:
+            prescs = [flick.present(flick.parse(text, args.input),
+                                    args.interface)]
+        else:
+            root = flick.parse(text, args.input)
+            prescs = [
+                flick.present(root, interface.name)
+                for interface in root.interfaces
+            ]
+    backend = make_backend(backend_name)
+    for presc in prescs:
+        stubs = backend.generate(presc)
+        print("interface %s  (presentation %s, back end %s)"
+              % (presc.interface_name, presc.presentation_style,
+                 backend_name))
+        print("  wire id: %r" % (presc.interface_code,))
+        print("  demux:   %s" % stubs.metadata["demux"])
+        for stub in presc.stubs:
+            info = analyze_storage(
+                stub.request_pres.mint, backend.wire_format,
+                presc.mint_registry,
+            )
+            if info.max_size is None:
+                size_text = ">= %d bytes (unbounded)" % info.min_size
+            elif info.storage_class.value == "fixed":
+                size_text = "<= %d bytes (fixed layout)" % info.max_size
+            else:
+                size_text = "%d..%d bytes (bounded)" % (
+                    info.min_size, info.max_size,
+                )
+            chunks = stubs.metadata["operations"].get(
+                stub.operation_name, {}
+            ).get("request_chunks", "?")
+            oneway = " oneway" if stub.oneway else ""
+            print("  %-20s request body %s; %s marshal chunk(s);%s key=%r"
+                  % (stub.operation_name, size_text, chunks, oneway,
+                     backend.demux_key(presc, stub)))
+        if stubs.metadata["records"]:
+            print("  records: %s" % ", ".join(stubs.metadata["records"]))
+        if stubs.metadata["exceptions"]:
+            print("  exceptions: %s"
+                  % ", ".join(stubs.metadata["exceptions"]))
+    return 0
+
+
+def command_list(_args):
+    from repro.backend import BACKENDS
+    from repro.pgen import PRESENTATIONS
+    from repro.compilers import BASELINES
+
+    print("front ends:     corba, oncrpc, mig")
+    print("presentations:  %s" % ", ".join(sorted(PRESENTATIONS)))
+    print("back ends:      %s" % ", ".join(sorted(BACKENDS)))
+    print("baselines:      %s" % ", ".join(sorted(BASELINES)))
+    return 0
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "compile":
+            return command_compile(args)
+        if args.command == "inspect":
+            return command_inspect(args)
+        if args.command == "list":
+            return command_list(args)
+    except (FlickError, OSError) as error:
+        print("flick: error: %s" % error, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

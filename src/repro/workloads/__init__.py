@@ -1,0 +1,48 @@
+"""The paper's benchmark workloads (section 4).
+
+Three methods, each taking one input array:
+
+1. ``ints`` — an array of (4-byte) integers;
+2. ``rects`` — an array of rectangle structures, each holding two
+   coordinate substructures of two integers;
+3. ``dirents`` — an array of variable-size directory entries: a
+   variable-length name string followed by a fixed UNIX-stat-like
+   structure of 136 bytes (30 4-byte integers and one 16-byte character
+   array).  As in the paper, the generated entries encode to exactly 256
+   bytes each under XDR.
+
+Array sizes swept: 64 B – 4 MB for ints and rects, 256 B – 512 KB for
+directory entries.
+"""
+
+from repro.workloads.definitions import (
+    BENCH_IDL_CORBA,
+    BENCH_IDL_ONC,
+    DIR_ENTRY_ENCODED_SIZE,
+    DIR_NAME_LENGTH,
+    INT_SIZES,
+    DIR_SIZES,
+    MIG_BENCH_IDL,
+    make_dir_entries,
+    make_int_array,
+    make_rect_array,
+    dir_entry_count,
+    int_count,
+    rect_count,
+)
+
+__all__ = [
+    "BENCH_IDL_CORBA",
+    "BENCH_IDL_ONC",
+    "DIR_ENTRY_ENCODED_SIZE",
+    "DIR_NAME_LENGTH",
+    "DIR_SIZES",
+    "INT_SIZES",
+    "MIG_BENCH_IDL",
+    "dir_entry_count",
+    "int_count",
+    "make_dir_entries",
+    "make_int_array",
+    "make_rect_array",
+    "rect_count",
+]

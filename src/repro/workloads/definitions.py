@@ -1,0 +1,134 @@
+"""IDL sources and value generators for the paper's workloads."""
+
+from __future__ import annotations
+
+#: The benchmark interface in CORBA IDL (drives the CORBA-family
+#: compilers: Flick-IIOP, ORBeline-style, ILU-style, PowerRPC-style).
+BENCH_IDL_CORBA = """
+module Bench {
+  struct Coord { long x, y; };
+  struct Rect { Coord ul; Coord lr; };
+  struct Stat {
+    long f00, f01, f02, f03, f04, f05, f06, f07, f08, f09;
+    long f10, f11, f12, f13, f14, f15, f16, f17, f18, f19;
+    long f20, f21, f22, f23, f24, f25, f26, f27, f28, f29;
+    octet tag[16];
+  };
+  struct DirEnt { string name; Stat st; };
+  typedef sequence<long> IntSeq;
+  typedef sequence<Rect> RectSeq;
+  typedef sequence<DirEnt> DirSeq;
+  interface Bench {
+    void ints(in IntSeq a);
+    void rects(in RectSeq a);
+    void dirents(in DirSeq a);
+  };
+};
+"""
+
+#: The same contract in ONC RPC IDL (drives rpcgen-style and Flick-XDR).
+BENCH_IDL_ONC = """
+struct coord { int x; int y; };
+struct rect { coord ul; coord lr; };
+struct stat_info {
+  int f00; int f01; int f02; int f03; int f04;
+  int f05; int f06; int f07; int f08; int f09;
+  int f10; int f11; int f12; int f13; int f14;
+  int f15; int f16; int f17; int f18; int f19;
+  int f20; int f21; int f22; int f23; int f24;
+  int f25; int f26; int f27; int f28; int f29;
+  opaque tag[16];
+};
+struct dirent { string name<>; stat_info st; };
+typedef int int_seq<>;
+typedef rect rect_seq<>;
+typedef dirent dir_seq<>;
+program BENCH {
+  version BENCHV {
+    void ints(int_seq) = 1;
+    void rects(rect_seq) = 2;
+    void dirents(dir_seq) = 3;
+  } = 1;
+} = 0x20000042;
+"""
+
+#: MIG can only express the integer-array method (paper, Figure 7).
+MIG_BENCH_IDL = """
+subsystem bench 4400;
+type int_array = array[*:1048576] of int;
+routine ints(server : mach_port_t; a : int_array);
+"""
+
+#: Message sizes the paper sweeps (bytes of payload).
+INT_SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
+DIR_SIZES = (256, 1024, 4096, 16384, 65536, 262144, 524288)
+
+#: One XDR-encoded directory entry occupies exactly 256 bytes: 4 (name
+#: length) + 116 (name, padded to 4) + 30*4 (integers) + 16 (tag).
+DIR_NAME_LENGTH = 116
+DIR_ENTRY_ENCODED_SIZE = 256
+
+
+def int_count(payload_bytes):
+    """Number of 4-byte integers filling *payload_bytes*."""
+    return max(1, payload_bytes // 4)
+
+
+def rect_count(payload_bytes):
+    """Number of 16-byte rectangles filling *payload_bytes*."""
+    return max(1, payload_bytes // 16)
+
+
+def dir_entry_count(payload_bytes):
+    """Number of 256-byte directory entries filling *payload_bytes*."""
+    return max(1, payload_bytes // DIR_ENTRY_ENCODED_SIZE)
+
+
+def make_int_array(payload_bytes):
+    """The integer-array workload for a target payload size."""
+    count = int_count(payload_bytes)
+    return [(index * 2654435761) & 0x7FFFFFFF for index in range(count)]
+
+
+def make_rect_array(module, payload_bytes, record_prefix="Bench_"):
+    """The rectangle workload, built from *module*'s record classes.
+
+    ``record_prefix`` selects the naming scheme ("Bench_" for the CORBA
+    source, "" for the ONC source whose records are lowercase).
+    """
+    rect_class, coord_class = _rect_classes(module, record_prefix)
+    count = rect_count(payload_bytes)
+    return [
+        rect_class(
+            coord_class(index, index + 1),
+            coord_class(index + 2, index + 3),
+        )
+        for index in range(count)
+    ]
+
+
+def _rect_classes(module, record_prefix):
+    if hasattr(module, record_prefix + "Rect"):
+        return (
+            getattr(module, record_prefix + "Rect"),
+            getattr(module, record_prefix + "Coord"),
+        )
+    return module.rect, module.coord
+
+
+def make_dir_entries(module, payload_bytes, record_prefix="Bench_"):
+    """The directory-entry workload: 256 encoded bytes per entry."""
+    count = dir_entry_count(payload_bytes)
+    if hasattr(module, record_prefix + "DirEnt"):
+        entry_class = getattr(module, record_prefix + "DirEnt")
+        stat_class = getattr(module, record_prefix + "Stat")
+    else:
+        entry_class = module.dirent
+        stat_class = module.stat_info
+    tag = b"t" * 16  # octet[16] / opaque[16] presents as bytes
+    entries = []
+    for index in range(count):
+        name = ("entry-%06d-" % index).ljust(DIR_NAME_LENGTH, "x")
+        stat = stat_class(*(list(range(30)) + [tag]))
+        entries.append(entry_class(name, stat))
+    return entries

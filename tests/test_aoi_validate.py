@@ -1,0 +1,265 @@
+"""Unit tests for AOI validation."""
+
+import pytest
+
+from repro.errors import AoiValidationError
+from repro.aoi import (
+    AoiArray,
+    AoiBoolean,
+    AoiChar,
+    AoiEnum,
+    AoiFloat,
+    AoiInteger,
+    AoiInterface,
+    AoiNamedRef,
+    AoiOperation,
+    AoiOptional,
+    AoiParameter,
+    AoiRoot,
+    AoiSequence,
+    AoiString,
+    AoiStruct,
+    AoiStructField,
+    AoiUnion,
+    AoiUnionCase,
+    AoiVoid,
+    Direction,
+    validate,
+)
+
+I32 = AoiInteger(32, True)
+
+
+def root_with(**types):
+    root = AoiRoot()
+    for name, aoi_type in types.items():
+        root.define_type(name, aoi_type)
+    return root
+
+
+class TestTypeChecks:
+    def test_valid_struct_passes(self):
+        validate(root_with(S=AoiStruct("S", (AoiStructField("a", I32),))))
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(S=AoiStruct("S", ())))
+
+    def test_duplicate_field_rejected(self):
+        fields = (AoiStructField("a", I32), AoiStructField("a", I32))
+        with pytest.raises(AoiValidationError):
+            validate(root_with(S=AoiStruct("S", fields)))
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiNamedRef("missing")))
+
+    def test_bad_integer_width_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiInteger(24, True)))
+
+    def test_bad_float_width_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiFloat(80)))
+
+    def test_zero_length_array_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiArray(I32, 0)))
+
+    def test_zero_string_bound_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiString(0)))
+
+    def test_unbounded_string_fine(self):
+        validate(root_with(T=AoiString(None)))
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiEnum("T", ())))
+
+    def test_duplicate_enum_value_rejected(self):
+        with pytest.raises(AoiValidationError):
+            validate(root_with(T=AoiEnum("T", (("A", 1), ("B", 1)))))
+
+
+class TestRecursion:
+    def test_recursion_through_optional_allowed(self):
+        node = AoiStruct(
+            "node",
+            (
+                AoiStructField("v", I32),
+                AoiStructField("next", AoiOptional(AoiNamedRef("node"))),
+            ),
+        )
+        validate(root_with(node=node))
+
+    def test_recursion_through_sequence_allowed(self):
+        tree = AoiStruct(
+            "tree",
+            (AoiStructField("kids", AoiSequence(AoiNamedRef("tree"), None)),),
+        )
+        validate(root_with(tree=tree))
+
+    def test_direct_recursion_rejected(self):
+        bad = AoiStruct("bad", (AoiStructField("self", AoiNamedRef("bad")),))
+        with pytest.raises(AoiValidationError):
+            validate(root_with(bad=bad))
+
+    def test_recursion_through_fixed_array_rejected(self):
+        bad = AoiStruct(
+            "bad",
+            (AoiStructField("kids", AoiArray(AoiNamedRef("bad"), 2)),),
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root_with(bad=bad))
+
+    def test_mutual_recursion_through_optional_allowed(self):
+        a = AoiStruct("a", (AoiStructField("b", AoiOptional(AoiNamedRef("b"))),))
+        b = AoiStruct("b", (AoiStructField("a", AoiOptional(AoiNamedRef("a"))),))
+        validate(root_with(a=a, b=b))
+
+    def test_circular_typedef_rejected(self):
+        root = root_with(a=AoiNamedRef("b"), b=AoiNamedRef("a"))
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+
+class TestUnions:
+    def make_union(self, discriminator, cases):
+        return AoiUnion("U", discriminator, cases)
+
+    def test_valid_union(self):
+        union = self.make_union(
+            I32,
+            (
+                AoiUnionCase((0,), "a", I32),
+                AoiUnionCase((), "d", AoiVoid()),
+            ),
+        )
+        validate(root_with(U=union))
+
+    def test_float_discriminator_rejected(self):
+        union = self.make_union(
+            AoiFloat(32), (AoiUnionCase((0,), "a", I32),)
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root_with(U=union))
+
+    def test_duplicate_label_rejected(self):
+        union = self.make_union(
+            I32,
+            (
+                AoiUnionCase((1,), "a", I32),
+                AoiUnionCase((1,), "b", I32),
+            ),
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root_with(U=union))
+
+    def test_two_defaults_rejected(self):
+        union = self.make_union(
+            I32,
+            (
+                AoiUnionCase((), "a", I32),
+                AoiUnionCase((), "b", I32),
+            ),
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root_with(U=union))
+
+    def test_label_out_of_range_rejected(self):
+        union = self.make_union(
+            AoiInteger(8, False), (AoiUnionCase((300,), "a", I32),)
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root_with(U=union))
+
+    def test_enum_label_must_be_member(self):
+        enum = AoiEnum("E", (("A", 0),))
+        union = AoiUnion("U", AoiNamedRef("E"), (AoiUnionCase((7,), "a", I32),))
+        with pytest.raises(AoiValidationError):
+            validate(root_with(E=enum, U=union))
+
+    def test_bool_discriminator(self):
+        union = self.make_union(
+            AoiBoolean(),
+            (
+                AoiUnionCase((True,), "t", I32),
+                AoiUnionCase((False,), "f", AoiVoid()),
+            ),
+        )
+        validate(root_with(U=union))
+
+    def test_char_label_must_be_single_char(self):
+        union = self.make_union(
+            AoiChar(), (AoiUnionCase(("xy",), "a", I32),)
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root_with(U=union))
+
+
+class TestInterfaces:
+    def interface_with(self, *operations, **kwargs):
+        root = AoiRoot()
+        root.add_interface(AoiInterface("I", tuple(operations), **kwargs))
+        return root
+
+    def test_duplicate_operation_rejected(self):
+        root = self.interface_with(
+            AoiOperation("f", (), AoiVoid(), request_code=1),
+            AoiOperation("f", (), AoiVoid(), request_code=2),
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+    def test_duplicate_request_code_rejected(self):
+        root = self.interface_with(
+            AoiOperation("f", (), AoiVoid(), request_code=1),
+            AoiOperation("g", (), AoiVoid(), request_code=1),
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+    def test_void_parameter_rejected(self):
+        root = self.interface_with(
+            AoiOperation(
+                "f", (AoiParameter("x", AoiVoid()),), AoiVoid(),
+                request_code=1,
+            )
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+    def test_oneway_with_result_rejected(self):
+        root = self.interface_with(
+            AoiOperation("f", (), I32, request_code=1, oneway=True)
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+    def test_oneway_with_out_param_rejected(self):
+        root = self.interface_with(
+            AoiOperation(
+                "f",
+                (AoiParameter("x", I32, Direction.OUT),),
+                AoiVoid(),
+                request_code=1,
+                oneway=True,
+            )
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+    def test_unknown_exception_rejected(self):
+        root = self.interface_with(
+            AoiOperation("f", (), AoiVoid(), request_code=1,
+                         raises=("NoSuch",))
+        )
+        with pytest.raises(AoiValidationError):
+            validate(root)
+
+    def test_unknown_parent_rejected(self):
+        root = AoiRoot()
+        root.add_interface(AoiInterface("I", (), parents=("Ghost",)))
+        with pytest.raises(AoiValidationError):
+            validate(root)

@@ -1,0 +1,102 @@
+"""Sanity tests for the benchmark harness itself.
+
+The benchmark figures only mean something if the harness's calibration
+and measurement helpers behave; these tests exercise them with tiny
+budgets so the suite stays fast.
+"""
+
+import pytest
+
+from repro.runtime import ETHERNET_10, ETHERNET_100
+
+from benchmarks import harness
+
+
+class TestCompiledRegistry:
+    def test_all_bench_compilers_build(self):
+        for name in harness.ALL_COMPILERS + ("flick-mach", "mig"):
+            _result, module = harness.compiled(name)
+            assert hasattr(module, "dispatch")
+
+    def test_cache_returns_same_module(self):
+        assert harness.compiled("flick-xdr")[1] is harness.compiled(
+            "flick-xdr"
+        )[1]
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(KeyError):
+            harness.compiled("stubgen-3000")
+
+    def test_record_prefixes(self):
+        assert harness.record_prefix("flick-iiop") == "Bench_"
+        assert harness.record_prefix("rpcgen") == ""
+
+
+class TestMeasurement:
+    def test_marshal_measure_returns_positive_rate(self):
+        _result, module = harness.compiled("flick-xdr")
+        args = harness.workload_args(module, "ints", 1024, "")
+        rate, size = harness.measure_marshal(
+            module, "ints", args, budget=0.01
+        )
+        assert rate > 0
+        assert size > 1024  # payload + headers
+
+    def test_end_to_end_measure(self):
+        _result, module = harness.compiled("flick-xdr")
+        args = harness.workload_args(module, "ints", 1024, "")
+        mbps = harness.measure_end_to_end(
+            module, harness.client_class_name("flick-xdr"), "ints",
+            args, ETHERNET_10, 1024, budget=0.01,
+        )
+        # Paper-equivalent numbers sit under the link's effective rate.
+        assert 0 < mbps < 7.6
+
+    def test_unmarshal_measure(self):
+        _result, module = harness.compiled("flick-xdr")
+        args = harness.workload_args(module, "ints", 1024, "")
+        rate, _size = harness.measure_unmarshal(
+            module, "ints", args, body_offset=40, budget=0.01
+        )
+        assert rate > 0
+
+
+class TestCalibration:
+    def test_cpu_scale_positive_and_cached(self):
+        scale = harness.cpu_scale()
+        assert scale > 0
+        assert harness.cpu_scale() == scale
+
+    def test_scaled_link_preserves_ratio(self):
+        scaled = harness.scaled_link(ETHERNET_100)
+        ratio = (
+            scaled.effective_bandwidth_bps
+            / ETHERNET_100.effective_bandwidth_bps
+        )
+        assert ratio == pytest.approx(harness.cpu_scale())
+        assert scaled.per_message_overhead_s == pytest.approx(
+            ETHERNET_100.per_message_overhead_s / harness.cpu_scale()
+        )
+
+
+class TestReporting:
+    def test_print_table_writes_results_file(self, tmp_path, capsys):
+        old = harness.RESULTS_DIR
+        harness.RESULTS_DIR = str(tmp_path)
+        try:
+            harness.print_table(
+                "Unit-test table", ("a", "b"), [["1", "2"]],
+                save_as="unit_test_table",
+            )
+        finally:
+            harness.RESULTS_DIR = old
+        out = capsys.readouterr().out
+        assert "Unit-test table" in out
+        saved = (tmp_path / "unit_test_table.txt").read_text()
+        assert "1" in saved and "2" in saved
+
+    def test_fmt(self):
+        assert harness.fmt(123.456) == "123"
+        assert harness.fmt(12.34) == "12.3"
+        assert harness.fmt(1.234) == "1.23"
+        assert harness.fmt("x") == "x"

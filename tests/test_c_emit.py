@@ -1,0 +1,118 @@
+"""Tests of the C fidelity artifact's structure."""
+
+import re
+
+import pytest
+
+from repro import Flick
+
+from tests.conftest import compile_mail, compile_db
+
+
+@pytest.fixture(scope="module")
+def c_source():
+    return compile_mail("oncrpc-xdr").stubs.c_source
+
+
+@pytest.fixture(scope="module")
+def c_header():
+    return compile_mail("oncrpc-xdr").stubs.c_header
+
+
+class TestHeaderFile:
+    def test_include_guard(self, c_header):
+        assert "#ifndef FLICK_TEST_MAIL_H" in c_header
+        assert "#endif" in c_header
+
+    def test_type_declarations_present(self, c_header):
+        assert "struct Test_Rect {" in c_header
+        assert "enum Test_Color {" in c_header
+
+    def test_stub_prototypes_present(self, c_header):
+        assert "Test_Mail_send(" in c_header
+
+
+class TestStubFile:
+    def test_chunk_pointer_constant_offsets(self, c_source):
+        # The paper's signature codegen: writes through a chunk pointer at
+        # compile-time-constant offsets, pointer never incremented.
+        assert re.search(
+            r"\*\(flick_s32 \*\)\(_chunk \+ \d+\) =", c_source
+        )
+
+    def test_single_check_per_region(self, c_source):
+        assert "flick_check_room(_buf," in c_source
+
+    def test_memcpy_for_strings(self, c_source):
+        assert re.search(r"memcpy\(_chunk \+ 4, .*_len", c_source)
+
+    def test_header_template_constants(self, c_source):
+        assert "static const char _flick_req_hdr_send[40]" in c_source
+
+    def test_dispatch_switch(self, c_source):
+        assert "switch (flick_demux_word(_in))" in c_source
+        assert "FLICK_NO_SUCH_OPERATION" in c_source
+
+    def test_union_switch(self, c_source):
+        assert "switch (" in c_source
+
+    def test_temps_declared(self, c_source):
+        for match in re.finditer(r"(_len\d+|_i\d+)", c_source):
+            name = match.group(1)
+            assert re.search(
+                r"unsigned int [^;]*\b%s\b" % name, c_source
+            ), name
+
+    def test_recursive_type_out_of_line(self):
+        c_source = compile_db().stubs.c_source
+        assert "static void _flick_m_entry(" in c_source
+        assert "_flick_m_entry(_buf, &" in c_source
+
+
+class TestCdrVariant:
+    def test_no_string_padding_on_cdr(self):
+        c_source = compile_mail("iiop").stubs.c_source
+        # CDR strings are length + bytes + NUL, with no padding to 4.
+        assert re.search(r"\(_len\d+ \+ 1\)\);", c_source)
+
+
+class TestServerSkeletons:
+    def test_serve_function_defined(self, c_source):
+        assert "int _flick_serve_send(flick_buf_t *_in" in c_source
+
+    def test_unmarshal_inlined_into_dispatch_path(self, c_source):
+        # Chunked decode through a read-chunk pointer at constant offsets.
+        assert "r.ul.x = flick_decode_s32(_rchunk + 0);" in c_source
+        assert "r.lr.y = flick_decode_s32(_rchunk + 12);" in c_source
+
+    def test_strings_stay_in_receive_buffer(self, c_source):
+        assert "string data stays in the receive buffer" in c_source
+
+    def test_work_function_called(self, c_source):
+        assert "Test_Mail_send_server(msg, r, &v, &c)" in c_source
+
+    def test_reply_marshaled_into_out_buffer(self, c_source):
+        assert "_flick_rep_hdr_send" in c_source
+
+    def test_stack_allocation_for_aggregate_arrays(self):
+        from repro import Flick
+
+        result = Flick(frontend="corba", backend="oncrpc-xdr").compile(
+            "struct P { long a, b; };"
+            "interface I { void f(in sequence<P> ps); };"
+        )
+        assert "flick_stack_alloc(" in result.stubs.c_source
+
+    def test_oneway_serve_returns_zero(self, c_source):
+        import re
+
+        serve_ping = c_source.split("int _flick_serve_ping")[1]
+        serve_ping = serve_ping.split("int _flick_serve_")[0]
+        assert "return 0;" in serve_ping
+        assert "_flick_rep_hdr_ping" not in serve_ping
+
+    def test_recursive_decode_helper_declared(self):
+        from tests.conftest import compile_db
+
+        c_source = compile_db().stubs.c_source
+        assert "extern entry *_flick_u_entry(const char **cursor);" in c_source

@@ -1,0 +1,188 @@
+"""Unit tests for the CAST C pretty-printer."""
+
+import pytest
+
+from repro.cast import nodes as n
+from repro.cast.emit import CEmitter, emit_c
+from repro.errors import FlickError
+
+
+def expr_text(expression):
+    return CEmitter().expr(expression)
+
+
+def stmt_text(statement):
+    emitter = CEmitter()
+    emitter.stmt(statement)
+    return emitter.getvalue()
+
+
+class TestDeclarators:
+    def emit(self, ctype, name="x"):
+        return CEmitter().declarator(ctype, name)
+
+    def test_simple(self):
+        assert self.emit(n.TypeName("int")) == "int x"
+
+    def test_pointer(self):
+        assert self.emit(n.Pointer(n.TypeName("char"))) == "char *x"
+
+    def test_pointer_to_pointer(self):
+        assert self.emit(
+            n.Pointer(n.Pointer(n.TypeName("char")))
+        ) == "char **x"
+
+    def test_array(self):
+        assert self.emit(n.ArrayOf(n.TypeName("int"), 10)) == "int x[10]"
+
+    def test_unsized_array(self):
+        assert self.emit(n.ArrayOf(n.TypeName("int"))) == "int x[]"
+
+    def test_array_of_pointers(self):
+        ctype = n.ArrayOf(n.Pointer(n.TypeName("char")), 4)
+        assert self.emit(ctype) == "char *x[4]"
+
+    def test_pointer_to_array_needs_parens(self):
+        ctype = n.Pointer(n.ArrayOf(n.TypeName("int"), 4))
+        assert self.emit(ctype) == "int (*x)[4]"
+
+    def test_anonymous_declarator(self):
+        assert self.emit(n.Pointer(n.TypeName("void")), "") == "void *"
+
+
+class TestExpressions:
+    def test_precedence_no_extra_parens(self):
+        expression = n.BinOp(
+            "+", n.Ident("a"), n.BinOp("*", n.Ident("b"), n.Ident("c"))
+        )
+        assert expr_text(expression) == "a + b * c"
+
+    def test_precedence_parens_required(self):
+        expression = n.BinOp(
+            "*", n.BinOp("+", n.Ident("a"), n.Ident("b")), n.Ident("c")
+        )
+        assert expr_text(expression) == "(a + b) * c"
+
+    def test_member_and_arrow(self):
+        expression = n.Member(n.Member(n.Ident("p"), "q", arrow=True), "r")
+        assert expr_text(expression) == "p->q.r"
+
+    def test_call_with_args(self):
+        expression = n.Call(n.Ident("f"), (n.IntLit(1), n.Ident("x")))
+        assert expr_text(expression) == "f(1, x)"
+
+    def test_index(self):
+        assert expr_text(n.Index(n.Ident("a"), n.IntLit(3))) == "a[3]"
+
+    def test_cast(self):
+        expression = n.CastExpr(
+            n.Pointer(n.TypeName("long")), n.Ident("p")
+        )
+        assert expr_text(expression) == "(long *)p"
+
+    def test_deref_of_sum_parenthesized(self):
+        expression = n.Deref(n.BinOp("+", n.Ident("p"), n.IntLit(4)))
+        assert expr_text(expression) == "*(p + 4)"
+
+    def test_assign(self):
+        expression = n.Assign(n.Ident("x"), n.IntLit(5))
+        assert expr_text(expression) == "x = 5"
+
+    def test_compound_assign(self):
+        expression = n.Assign(n.Ident("x"), n.IntLit(4), operator="+")
+        assert expr_text(expression) == "x += 5".replace("5", "4")
+
+    def test_ternary(self):
+        expression = n.Ternary(n.Ident("c"), n.IntLit(1), n.IntLit(0))
+        assert expr_text(expression) == "c ? 1 : 0"
+
+    def test_string_escaping(self):
+        assert expr_text(n.StrLit('a"b\n')) == '"a\\"b\\n"'
+
+    def test_unknown_expression_raises(self):
+        with pytest.raises(FlickError):
+            expr_text(object())
+
+
+class TestStatements:
+    def test_if_else(self):
+        statement = n.If(
+            n.Ident("c"),
+            n.Block((n.Return(n.IntLit(1)),)),
+            n.Block((n.Return(n.IntLit(0)),)),
+        )
+        text = stmt_text(statement)
+        assert "if (c)" in text and "else" in text
+
+    def test_while(self):
+        text = stmt_text(n.While(n.Ident("c"), n.Block()))
+        assert text.startswith("while (c)")
+
+    def test_for_all_parts(self):
+        statement = n.For(
+            n.Assign(n.Ident("i"), n.IntLit(0)),
+            n.BinOp("<", n.Ident("i"), n.Ident("n")),
+            n.UnaryOp("++", n.Ident("i")),
+            n.Block(),
+        )
+        assert "for (i = 0; i < n; i++)" in stmt_text(statement)
+
+    def test_switch_with_default(self):
+        statement = n.Switch(
+            n.Ident("d"),
+            (
+                n.Case(n.IntLit(1), (n.Break(),)),
+                n.Case(None, (n.Return(),)),
+            ),
+        )
+        text = stmt_text(statement)
+        assert "case 1:" in text and "default:" in text
+
+    def test_struct_def(self):
+        statement = n.StructDef(
+            "point",
+            (
+                n.FieldDecl(n.TypeName("int"), "x"),
+                n.FieldDecl(n.TypeName("int"), "y"),
+            ),
+        )
+        text = stmt_text(statement)
+        assert text.startswith("struct point {")
+        assert "int x;" in text
+
+    def test_enum_def(self):
+        statement = n.EnumDef("color", (("RED", 0), ("BLUE", 1)))
+        text = stmt_text(statement)
+        assert "RED = 0," in text and "BLUE = 1" in text
+
+    def test_typedef(self):
+        statement = n.Typedef(n.Pointer(n.TypeName("char")), "string_t")
+        assert stmt_text(statement).strip() == "typedef char *string_t;"
+
+    def test_function_prototype_void_params(self):
+        statement = n.FuncDecl(n.TypeName("int"), "f", ())
+        assert stmt_text(statement).strip() == "int f(void);"
+
+    def test_function_definition(self):
+        statement = n.FuncDef(
+            n.FuncDecl(
+                n.TypeName("int"), "add",
+                (n.Param(n.TypeName("int"), "a"),
+                 n.Param(n.TypeName("int"), "b")),
+            ),
+            n.Block((n.Return(n.BinOp("+", n.Ident("a"), n.Ident("b"))),)),
+        )
+        text = stmt_text(statement)
+        assert "int add(int a, int b)" in text
+        assert "return a + b;" in text
+
+    def test_var_decl_with_initializer(self):
+        statement = n.VarDecl(n.TypeName("int"), "x", n.IntLit(3))
+        assert stmt_text(statement).strip() == "int x = 3;"
+
+    def test_comment(self):
+        assert "/* hello */" in stmt_text(n.Comment("hello"))
+
+    def test_emit_c_produces_trailing_newline(self):
+        text = emit_c([n.FuncDecl(n.TypeName("void"), "f", ())])
+        assert text.endswith("\n")

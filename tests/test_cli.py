@@ -1,0 +1,165 @@
+"""Tests for the flick command-line interface."""
+
+import os
+
+import pytest
+
+from repro.tools.cli import main
+
+MAIL = "interface Mail { void send(in string msg); };\n"
+ONC = "program P { version V { int f(int) = 1; } = 1; } = 9;\n"
+MIG = "subsystem s 100;\nroutine f(p : mach_port_t; x : int);\n"
+
+
+@pytest.fixture
+def outdir(tmp_path):
+    return str(tmp_path / "out")
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestCompile:
+    def test_corba_default(self, tmp_path, outdir, capsys):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(["compile", source, "-o", outdir]) == 0
+        assert os.path.exists(os.path.join(outdir, "mail_iiop.py"))
+        assert os.path.exists(os.path.join(outdir, "mail_iiop.c"))
+        assert os.path.exists(os.path.join(outdir, "mail_iiop.h"))
+        assert "compiled Mail" in capsys.readouterr().out
+
+    def test_frontend_guessed_from_suffix(self, tmp_path, outdir):
+        source = write(tmp_path, "db.x", ONC)
+        assert main(["compile", source, "-o", outdir]) == 0
+        assert os.path.exists(os.path.join(outdir, "p_v_oncrpc_xdr.py"))
+
+    def test_mig_suffix(self, tmp_path, outdir):
+        source = write(tmp_path, "arith.defs", MIG)
+        assert main(["compile", source, "-o", outdir]) == 0
+        assert os.path.exists(os.path.join(outdir, "s_mach3.py"))
+
+    def test_emit_subset(self, tmp_path, outdir):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(["compile", source, "-o", outdir, "--emit", "py"]) == 0
+        assert os.path.exists(os.path.join(outdir, "mail_iiop.py"))
+        assert not os.path.exists(os.path.join(outdir, "mail_iiop.c"))
+
+    def test_explicit_backend(self, tmp_path, outdir):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(
+            ["compile", source, "-o", outdir, "--backend", "fluke"]
+        ) == 0
+        assert os.path.exists(os.path.join(outdir, "mail_fluke.py"))
+
+    def test_generated_module_is_valid_python(self, tmp_path, outdir):
+        source = write(tmp_path, "mail.idl", MAIL)
+        main(["compile", source, "-o", outdir, "--emit", "py"])
+        path = os.path.join(outdir, "mail_iiop.py")
+        compile(open(path).read(), path, "exec")
+
+    def test_disable_flag(self, tmp_path, outdir):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(
+            ["compile", source, "-o", outdir, "--emit", "py",
+             "--disable", "hash_demux"]
+        ) == 0
+        text = open(os.path.join(outdir, "mail_iiop.py")).read()
+        assert "_HANDLERS" not in text
+
+    def test_syntax_error_reported(self, tmp_path, outdir, capsys):
+        source = write(tmp_path, "bad.idl", "interface {")
+        assert main(["compile", source, "-o", outdir]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, outdir, capsys):
+        assert main(["compile", "/no/such/file.idl", "-o", outdir]) == 1
+
+    def test_multi_interface_file_compiles_all(self, tmp_path, outdir):
+        source = write(
+            tmp_path, "two.idl",
+            "interface A { void f(); }; interface B { void g(); };",
+        )
+        assert main(["compile", source, "-o", outdir, "--emit", "py"]) == 0
+        assert os.path.exists(os.path.join(outdir, "a_iiop.py"))
+        assert os.path.exists(os.path.join(outdir, "b_iiop.py"))
+
+    def test_interface_selection(self, tmp_path, outdir):
+        source = write(
+            tmp_path, "two.idl",
+            "interface A { void f(); }; interface B { void g(); };",
+        )
+        assert main(
+            ["compile", source, "-o", outdir, "--emit", "py",
+             "--interface", "B"]
+        ) == 0
+        assert not os.path.exists(os.path.join(outdir, "a_iiop.py"))
+        assert os.path.exists(os.path.join(outdir, "b_iiop.py"))
+
+
+class TestBaselineAndInspect:
+    def test_baseline_generation(self, tmp_path, outdir):
+        source = write(tmp_path, "db.x", ONC)
+        assert main(
+            ["compile", source, "-o", outdir, "--baseline", "rpcgen",
+             "--emit", "py"]
+        ) == 0
+        text = open(os.path.join(outdir, "p_v_rpcgen.py")).read()
+        assert "_rt.put_" in text
+
+    def test_baseline_ilu(self, tmp_path, outdir):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(
+            ["compile", source, "-o", outdir, "--baseline", "ilu",
+             "--emit", "py"]
+        ) == 0
+
+    def test_inspect_output(self, tmp_path, capsys):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(["inspect", source]) == 0
+        out = capsys.readouterr().out
+        assert "interface Mail" in out
+        assert "demux:   hash" in out
+        assert "send" in out
+
+    def test_inspect_onc(self, tmp_path, capsys):
+        source = write(tmp_path, "db.x", ONC)
+        assert main(["inspect", source]) == 0
+        out = capsys.readouterr().out
+        assert "interface P::V" in out
+        assert "key=1" in out
+
+    def test_little_endian_flag(self, tmp_path, outdir):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(
+            ["compile", source, "-o", outdir, "--little-endian",
+             "--emit", "py"]
+        ) == 0
+        text = open(os.path.join(outdir, "mail_iiop.py")).read()
+        assert "'<I'" in text  # little-endian CDR packs
+
+    def test_little_endian_wrong_backend_rejected(self, tmp_path, outdir,
+                                                  capsys):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(
+            ["compile", source, "-o", outdir, "--little-endian",
+             "--backend", "fluke"]
+        ) == 1
+        assert "little-endian" in capsys.readouterr().err
+
+    def test_inspect_mig(self, tmp_path, capsys):
+        source = write(tmp_path, "arith.defs", MIG)
+        assert main(["inspect", source]) == 0
+        out = capsys.readouterr().out
+        assert "interface s" in out
+
+
+class TestList:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "corba" in out
+        assert "oncrpc-xdr" in out
+        assert "ilu" in out

@@ -1,0 +1,222 @@
+"""Unit tests for the shared front-end lexer."""
+
+import pytest
+
+from repro.errors import IdlSyntaxError
+from repro.idl.lexer import Lexer, LexerSpec, TokenKind
+from repro.idl.source import SourceFile
+
+SPEC = LexerSpec(
+    keywords=frozenset({"struct", "union", "long"}),
+    allow_hash_comments=True,
+)
+
+
+def tokens_of(text, spec=SPEC):
+    lexer = Lexer(SourceFile(text, "<test>"), spec)
+    out = []
+    while not lexer.at_end():
+        out.append(lexer.next())
+    return out
+
+
+def kinds_of(text):
+    return [token.kind for token in tokens_of(text)]
+
+
+class TestBasicTokens:
+    def test_empty_input_is_just_eof(self):
+        lexer = Lexer("", SPEC)
+        assert lexer.at_end()
+        assert lexer.peek().kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token,) = tokens_of("hello")
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (token,) = tokens_of("_x42_y")
+        assert token.value == "_x42_y"
+
+    def test_keyword_is_distinguished_from_identifier(self):
+        struct, other = tokens_of("struct structure")
+        assert struct.kind is TokenKind.KEYWORD
+        assert other.kind is TokenKind.IDENT
+
+    def test_punctuation(self):
+        tokens = tokens_of("{ } ; :: <")
+        assert [t.text for t in tokens] == ["{", "}", ";", "::", "<"]
+        assert all(t.kind is TokenKind.PUNCT for t in tokens)
+
+    def test_longest_punctuator_wins(self):
+        tokens = tokens_of("::: ")
+        assert [t.text for t in tokens] == ["::", ":"]
+
+    def test_eof_is_sticky(self):
+        lexer = Lexer("x", SPEC)
+        lexer.next()
+        assert lexer.next().kind is TokenKind.EOF
+        assert lexer.next().kind is TokenKind.EOF
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (token,) = tokens_of("12345")
+        assert token.kind is TokenKind.INT
+        assert token.value == 12345
+
+    def test_hex_int(self):
+        (token,) = tokens_of("0x20000001")
+        assert token.value == 0x20000001
+
+    def test_hex_uppercase(self):
+        (token,) = tokens_of("0XFF")
+        assert token.value == 255
+
+    def test_octal_int(self):
+        (token,) = tokens_of("0755")
+        assert token.value == 0o755
+
+    def test_plain_zero(self):
+        (token,) = tokens_of("0")
+        assert token.value == 0
+
+    def test_float_with_point(self):
+        (token,) = tokens_of("3.25")
+        assert token.kind is TokenKind.FLOAT
+        assert token.value == 3.25
+
+    def test_float_with_exponent(self):
+        (token,) = tokens_of("1e3")
+        assert token.kind is TokenKind.FLOAT
+        assert token.value == 1000.0
+
+    def test_float_with_signed_exponent(self):
+        (token,) = tokens_of("2.5e-2")
+        assert token.value == 0.025
+
+    def test_integer_then_member_access_not_float(self):
+        # "1e" without digits must not absorb the 'e'.
+        tokens = tokens_of("1 e")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of("0x")
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        (token,) = tokens_of('"hello"')
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_string_escapes(self):
+        (token,) = tokens_of(r'"a\nb\tc\\d\"e"')
+        assert token.value == 'a\nb\tc\\d"e'
+
+    def test_string_hex_escape(self):
+        (token,) = tokens_of(r'"\x41"')
+        assert token.value == "A"
+
+    def test_string_octal_escape(self):
+        (token,) = tokens_of(r'"\101"')
+        assert token.value == "A"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of('"oops')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of('"a\nb"')
+
+    def test_char_literal(self):
+        (token,) = tokens_of("'x'")
+        assert token.kind is TokenKind.CHAR
+        assert token.value == "x"
+
+    def test_char_escape(self):
+        (token,) = tokens_of(r"'\n'")
+        assert token.value == "\n"
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of("'xy'")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of(r'"\q"')
+
+
+class TestComments:
+    def test_line_comment(self):
+        tokens = tokens_of("a // comment here\n b")
+        assert [t.value for t in tokens] == ["a", "b"]
+
+    def test_block_comment(self):
+        tokens = tokens_of("a /* stuff \n more */ b")
+        assert [t.value for t in tokens] == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of("a /* never ends")
+
+    def test_hash_comment_when_enabled(self):
+        tokens = tokens_of("#include <x.h>\n a")
+        assert [t.value for t in tokens] == ["a"]
+
+    def test_hash_is_punct_when_disabled(self):
+        spec = LexerSpec(keywords=frozenset(), allow_hash_comments=False)
+        tokens = tokens_of("#", spec)
+        assert tokens[0].kind is TokenKind.PUNCT
+
+
+class TestStreamInterface:
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a b", SPEC)
+        assert lexer.peek().value == "a"
+        assert lexer.peek().value == "a"
+        assert lexer.next().value == "a"
+
+    def test_peek_ahead(self):
+        lexer = Lexer("a b c", SPEC)
+        assert lexer.peek(2).value == "c"
+        assert lexer.next().value == "a"
+
+    def test_accept_punct(self):
+        lexer = Lexer("; x", SPEC)
+        assert lexer.accept_punct(";")
+        assert not lexer.accept_punct(";")
+        assert lexer.peek().value == "x"
+
+    def test_expect_punct_error_includes_location(self):
+        lexer = Lexer(SourceFile("x", "f.idl"), SPEC)
+        with pytest.raises(IdlSyntaxError) as exc_info:
+            lexer.expect_punct(";")
+        assert "f.idl:1:1" in str(exc_info.value)
+
+    def test_expect_ident(self):
+        lexer = Lexer("foo", SPEC)
+        assert lexer.expect_ident().value == "foo"
+
+    def test_expect_ident_rejects_keyword(self):
+        lexer = Lexer("struct", SPEC)
+        with pytest.raises(IdlSyntaxError):
+            lexer.expect_ident()
+
+    def test_expect_int(self):
+        lexer = Lexer("42", SPEC)
+        assert lexer.expect_int().value == 42
+
+    def test_locations_track_lines(self):
+        tokens = tokens_of("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokens_of("`")

@@ -1,0 +1,225 @@
+"""Unit tests for MINT construction and analyses."""
+
+import pytest
+
+from repro import Flick
+from repro.mint import (
+    MintArray,
+    MintBuilder,
+    MintChar,
+    MintInteger,
+    MintStruct,
+    MintTypeRef,
+    MintUnion,
+    MintVoid,
+    StorageClass,
+    analyze_storage,
+    build_message_mints,
+    count_atoms,
+    is_recursive,
+)
+from repro.encoding import CDR_BE, FLUKE, MACH, XDR
+
+IDL = """
+module T {
+  struct Point { long x, y; };
+  struct Rect { Point ul; Point lr; };
+  typedef sequence<long> Ints;
+  typedef sequence<long, 10> Bounded;
+  typedef octet Tag[16];
+  union U switch (long) { case 0: long a; case 1: string s; };
+  interface I {
+    long f(in Rect r, in string s, out Point p);
+    oneway void g(in long x);
+  };
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def built():
+    root = Flick(frontend="corba").parse(IDL)
+    builder = MintBuilder(root)
+    return root, builder
+
+
+class TestMintConstruction:
+    def test_atoms(self, built):
+        root, builder = built
+        assert builder.mint_for(root.types["T::Ints"]) == MintArray(
+            MintInteger(32, True), 0, None
+        )
+
+    def test_bounded_sequence(self, built):
+        root, builder = built
+        assert builder.mint_for(root.types["T::Bounded"]).max_length == 10
+
+    def test_string_is_char_array(self, built):
+        root, builder = built
+        from repro.aoi import AoiString
+
+        mint = builder.mint_for(AoiString(42))
+        assert mint == MintArray(MintChar(), 0, 42)
+
+    def test_fixed_octet_array(self, built):
+        root, builder = built
+        mint = builder.mint_for(root.types["T::Tag"])
+        assert mint.is_fixed and mint.max_length == 16
+        assert mint.element == MintInteger(8, False)
+
+    def test_named_struct_goes_through_registry(self, built):
+        root, builder = built
+        from repro.aoi import AoiNamedRef
+
+        mint = builder.mint_for(AoiNamedRef("T::Rect"))
+        assert mint == MintTypeRef("T::Rect")
+        resolved = builder.registry.resolve(mint)
+        assert isinstance(resolved, MintStruct)
+        assert [s.name for s in resolved.slots] == ["ul", "lr"]
+
+    def test_union(self, built):
+        root, builder = built
+        mint = builder.registry.resolve(
+            builder.mint_for(root.types["T::U"])
+        )
+        assert isinstance(mint, MintUnion)
+        assert mint.cases[0].labels == (0,)
+
+    def test_enum_is_i32(self):
+        root = Flick(frontend="corba").parse("enum E { A, B };")
+        builder = MintBuilder(root)
+        assert builder.registry.resolve(
+            builder.mint_for(root.types["E"])
+        ) == MintInteger(32, True)
+
+
+class TestMessageMints:
+    def test_request_struct_fields(self):
+        root = Flick(frontend="corba").parse(IDL)
+        registry, messages = build_message_mints(
+            root, root.interface_named("T::I")
+        )
+        request = messages["f"].request
+        assert [s.name for s in request.slots] == ["r", "s"]
+
+    def test_reply_union_success_and_exceptions(self):
+        root = Flick(frontend="corba").parse(
+            "exception E { long c; };"
+            "interface I { long f(out long y) raises (E); };"
+        )
+        _registry, messages = build_message_mints(
+            root, root.interface_named("I")
+        )
+        reply = messages["f"].reply
+        assert isinstance(reply, MintUnion)
+        assert len(reply.cases) == 2
+        success = reply.cases[0].type
+        assert [s.name for s in success.slots] == ["_return", "y"]
+
+    def test_oneway_has_no_reply(self):
+        root = Flick(frontend="corba").parse(IDL)
+        _registry, messages = build_message_mints(
+            root, root.interface_named("T::I")
+        )
+        assert messages["g"].reply is None
+
+
+class TestStorageAnalysis:
+    def analyze(self, idl_type_name, layout, idl=IDL):
+        root = Flick(frontend="corba").parse(idl)
+        builder = MintBuilder(root)
+        from repro.aoi import AoiNamedRef
+
+        mint = builder.mint_for(AoiNamedRef(idl_type_name))
+        return analyze_storage(mint, layout, builder.registry)
+
+    def test_fixed_struct_xdr(self):
+        info = self.analyze("T::Rect", XDR)
+        assert info.storage_class is StorageClass.FIXED
+        assert info.max_size == 16
+
+    def test_fixed_struct_fluke_packed(self):
+        info = self.analyze("T::Rect", FLUKE)
+        assert info.max_size == 16
+
+    def test_unbounded_sequence(self):
+        info = self.analyze("T::Ints", XDR)
+        assert info.storage_class is StorageClass.UNBOUNDED
+        assert info.max_size is None
+
+    def test_bounded_sequence(self):
+        info = self.analyze("T::Bounded", XDR)
+        assert info.storage_class is StorageClass.BOUNDED
+        assert info.max_size == 4 + 10 * 4
+
+    def test_fixed_octet_array_xdr(self):
+        info = self.analyze("T::Tag", XDR)
+        assert info.storage_class is StorageClass.FIXED
+        assert info.max_size == 16  # 16 bytes, already 4-aligned
+
+    def test_fixed_octet_array_mach_has_descriptor(self):
+        info = self.analyze("T::Tag", MACH)
+        assert info.max_size == 8 + 16 + 3  # descriptor + data + worst pad
+
+    def test_union_with_string_arm_unbounded(self):
+        info = self.analyze("T::U", XDR)
+        assert info.storage_class is StorageClass.UNBOUNDED
+
+    def test_union_equal_fixed_arms_is_fixed(self):
+        idl = "union V switch (long) { case 0: long a; case 1: long b; };"
+        info = self.analyze("V", XDR, idl)
+        assert info.storage_class is StorageClass.FIXED
+        assert info.max_size == 8
+
+    def test_union_unequal_fixed_arms_is_bounded(self):
+        idl = "union V switch (long) { case 0: long a; case 1: double b; };"
+        info = self.analyze("V", XDR, idl)
+        assert info.storage_class is StorageClass.BOUNDED
+
+    def test_cdr_alignment_padding_in_bounds(self):
+        idl = "struct S { octet o; double d; };"
+        info = self.analyze("S", CDR_BE, idl)
+        # 1 byte + up to 7 pad + 8 = worst case 16.
+        assert info.storage_class is StorageClass.FIXED
+        assert info.max_size == 16
+
+    def test_recursive_type_unbounded(self):
+        idl = "struct n { long v; sequence<n> kids; };"
+        info = self.analyze("n", XDR, idl)
+        assert info.storage_class is StorageClass.UNBOUNDED
+
+
+class TestCountAndRecursion:
+    def test_count_atoms_fixed(self):
+        root = Flick(frontend="corba").parse(IDL)
+        builder = MintBuilder(root)
+        from repro.aoi import AoiNamedRef
+
+        mint = builder.mint_for(AoiNamedRef("T::Rect"))
+        assert count_atoms(mint, builder.registry) == 4
+
+    def test_count_atoms_array_scaled(self):
+        root = Flick(frontend="corba").parse(IDL)
+        builder = MintBuilder(root)
+        from repro.aoi import AoiNamedRef
+
+        mint = builder.mint_for(AoiNamedRef("T::Ints"))
+        assert count_atoms(mint, builder.registry, for_length=7) == 7
+
+    def test_is_recursive_detects_lists(self):
+        root = Flick(frontend="oncrpc").parse(
+            "struct n { int v; n *next; };"
+        )
+        builder = MintBuilder(root)
+        from repro.aoi import AoiNamedRef
+
+        mint = builder.mint_for(AoiNamedRef("n"))
+        assert is_recursive(mint, builder.registry)
+
+    def test_non_recursive(self):
+        root = Flick(frontend="corba").parse(IDL)
+        builder = MintBuilder(root)
+        from repro.aoi import AoiNamedRef
+
+        mint = builder.mint_for(AoiNamedRef("T::Rect"))
+        assert not is_recursive(mint, builder.registry)

@@ -1,0 +1,119 @@
+"""Transport robustness: record fragmentation, concurrency, big loads."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.runtime import StubServer, TcpClientTransport
+from repro.runtime.socket_transport import _recv_record
+
+from tests.conftest import MailImpl, compile_mail
+
+
+@pytest.fixture(scope="module")
+def onc_module():
+    return compile_mail("oncrpc-xdr").load_module()
+
+
+class TestRecordMarking:
+    def test_fragmented_request_accepted(self, onc_module):
+        """RFC 1831 record marking: a record may arrive in several
+        fragments; only the last carries the high bit."""
+        from repro.encoding import MarshalBuffer
+
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port), timeout=5)
+            try:
+                request = MarshalBuffer()
+                onc_module._m_req_avg(request, 1, [10, 20, 30])
+                payload = request.getvalue()
+                # Send as three fragments.
+                first, second, third = (
+                    payload[:10], payload[10:25], payload[25:],
+                )
+                sock.sendall(struct.pack(">I", len(first)) + first)
+                sock.sendall(struct.pack(">I", len(second)) + second)
+                sock.sendall(
+                    struct.pack(">I", 0x80000000 | len(third)) + third
+                )
+                reply = _recv_record(sock)
+                assert onc_module._u_rep_avg(reply, 24) == 20.0
+            finally:
+                sock.close()
+
+    def test_trickled_bytes(self, onc_module):
+        """Replies are reassembled even when bytes arrive one at a time
+        (exercises _recv_exact's partial-read loop)."""
+        from repro.encoding import MarshalBuffer
+
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        with server:
+            host, port = server.address
+            sock = socket.create_connection((host, port), timeout=5)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                request = MarshalBuffer()
+                onc_module._m_req_avg(request, 1, [6])
+                payload = request.getvalue()
+                framed = struct.pack(
+                    ">I", 0x80000000 | len(payload)
+                ) + payload
+                for index in range(len(framed)):
+                    sock.sendall(framed[index:index + 1])
+                reply = _recv_record(sock)
+                assert onc_module._u_rep_avg(reply, 24) == 6.0
+            finally:
+                sock.close()
+
+
+class TestConcurrency:
+    def test_many_threads_one_server(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        errors = []
+
+        def worker(worker_id):
+            transport = TcpClientTransport(*server.address)
+            try:
+                client = onc_module.Test_MailClient(transport)
+                for index in range(25):
+                    value = worker_id * 100 + index
+                    if client.avg([value]) != float(value):
+                        errors.append((worker_id, index))
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append((worker_id, repr(error)))
+            finally:
+                transport.close()
+
+        with server:
+            threads = [
+                threading.Thread(target=worker, args=(n,)) for n in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+
+    def test_interleaved_large_and_small(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        with server:
+            big = TcpClientTransport(*server.address)
+            small = TcpClientTransport(*server.address)
+            try:
+                big_client = onc_module.Test_MailClient(big)
+                small_client = onc_module.Test_MailClient(small)
+                blob = bytes(range(256)) * 512  # 128 KB
+                for _ in range(3):
+                    assert big_client.reverse(blob) == blob[::-1]
+                    assert small_client.avg([1, 3]) == 2.0
+            finally:
+                big.close()
+                small.close()
