@@ -37,6 +37,7 @@ from repro.core import CompileResult, Flick, OptFlags
 from repro.errors import (
     AoiValidationError,
     BackEndError,
+    DeadlineError,
     DispatchError,
     FlickError,
     FlickUserException,
@@ -55,6 +56,7 @@ __all__ = [
     "AoiValidationError",
     "BackEndError",
     "CompileResult",
+    "DeadlineError",
     "DispatchError",
     "Flick",
     "FlickError",

@@ -83,5 +83,14 @@ class TransportError(RuntimeFlickError):
     """A transport failed to move a message."""
 
 
+class DeadlineError(TransportError):
+    """A call's deadline expired before the reply arrived.
+
+    Raised by deadline-aware transports (:mod:`repro.runtime.aio`).  It is
+    a :class:`TransportError` so existing callers that handle transport
+    failures also handle deadline expiry, but it is never retried — the
+    time budget is already spent."""
+
+
 class DispatchError(RuntimeFlickError):
     """A server received a request it has no operation for."""

@@ -23,9 +23,29 @@ from repro.runtime.socket_transport import (
     UdpClientTransport,
     UdpServer,
 )
-from repro.runtime.server import StubServer
+from repro.runtime.framing import RecordDecoder, encode_record
+from repro.runtime.server import StubServer, operation_names
+from repro.runtime.aio import (
+    AioClientTransport,
+    AioTcpServer,
+    CallOptions,
+    ConnectionPool,
+    RetryPolicy,
+    ServeOptions,
+    ServerStats,
+)
 
 __all__ = [
+    "AioClientTransport",
+    "AioTcpServer",
+    "CallOptions",
+    "ConnectionPool",
+    "RecordDecoder",
+    "RetryPolicy",
+    "ServeOptions",
+    "ServerStats",
+    "encode_record",
+    "operation_names",
     "ETHERNET_10",
     "ETHERNET_100",
     "FLUKE_IPC",

@@ -1,0 +1,412 @@
+"""The concurrent client runtime: multiplexed connections with pooling.
+
+Three layers, outermost first:
+
+* :class:`AioClientTransport` — a synchronous
+  :class:`~repro.runtime.transport.Transport` (so every generated client
+  proxy works unchanged) that drives a shared background event loop.
+  Many threads may call through one transport simultaneously; their
+  requests multiplex over the pool's connections.
+* :class:`ConnectionPool` — asyncio-native: owns up to *size* multiplexed
+  connections, routes each call to the least-loaded one, reconnects lazily,
+  and applies :class:`~repro.runtime.aio.options.CallOptions` (deadlines,
+  retry with exponential backoff for idempotent work).
+* :class:`AioConnection` — one framed TCP connection carrying many
+  in-flight requests.  Correlation rides in the protocol's own id field
+  (ONC XID / GIOP request_id): the connection stamps a connection-unique
+  id into each outgoing request and restores the caller's original id on
+  the reply, so generated stubs — which verify ids themselves — never
+  observe the remapping, and the wire stays byte-compatible with blocking
+  peers.
+
+Cancellation: cancelling a task blocked in :meth:`AioConnection.acall`
+(or a deadline expiring) unregisters the pending entry; a late reply for
+an unknown id is counted and dropped, and the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.errors import DeadlineError, TransportError
+from repro.runtime.framing import MAX_RECORD_SIZE, RecordDecoder, \
+    encode_record
+from repro.runtime.transport import Transport
+from repro.runtime.aio.correlation import probe, rewrite_id
+from repro.runtime.aio.options import CallOptions
+
+READ_CHUNK = 65536
+
+
+class AioConnection:
+    """One framed TCP connection multiplexing many in-flight calls."""
+
+    def __init__(self, reader, writer, max_record_size=MAX_RECORD_SIZE):
+        self._reader = reader
+        self._writer = writer
+        self._decoder = RecordDecoder(max_record_size)
+        self._write_lock = asyncio.Lock()
+        self._pending = {}  # wire id -> (future, original id)
+        self._next_id = 0
+        self._closed = False
+        self._close_reason = None
+        self.orphan_replies = 0
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def open(cls, host, port, *, connect_timeout=10.0,
+                   max_record_size=MAX_RECORD_SIZE):
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except asyncio.TimeoutError:
+            raise TransportError(
+                "timed out connecting to %s:%s" % (host, port)
+            ) from None
+        except OSError as error:
+            raise TransportError(
+                "cannot connect to %s:%s: %s" % (host, port, error)
+            ) from error
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        return cls(reader, writer, max_record_size)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self):
+        return len(self._pending)
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def _allocate_id(self):
+        # Connection-unique: skip ids still pending (the counter wraps at
+        # 2^32, the width of both XID and GIOP request_id).
+        while True:
+            self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+            if self._next_id not in self._pending:
+                return self._next_id
+
+    async def _read_loop(self):
+        reason = "connection closed by peer"
+        try:
+            while True:
+                data = await self._reader.read(READ_CHUNK)
+                if not data:
+                    break
+                for record in self._decoder.feed(data):
+                    self._route_reply(record)
+        except (ConnectionError, OSError) as error:
+            reason = "connection lost: %s" % error
+        except TransportError as error:
+            reason = str(error)
+        except asyncio.CancelledError:
+            reason = "connection closed"
+        finally:
+            self._fail_pending(reason)
+
+    def _route_reply(self, record):
+        try:
+            info = probe(record)
+        except TransportError:
+            self.orphan_replies += 1
+            return
+        entry = self._pending.pop(info.correlation_id, None)
+        if entry is None:
+            # Deadline expired or the call was cancelled; drop the late
+            # reply (counted so tests and diagnostics can see it).
+            self.orphan_replies += 1
+            return
+        future, original_id = entry
+        if not future.done():
+            future.set_result(rewrite_id(record, info, original_id))
+
+    def _fail_pending(self, reason):
+        self._closed = True
+        self._close_reason = reason
+        pending, self._pending = self._pending, {}
+        for future, _original in pending.values():
+            if not future.done():
+                future.set_exception(TransportError(reason))
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+
+    async def acall(self, payload, deadline=None):
+        """Send a two-way request; await and return its reply bytes."""
+        if self._closed:
+            raise TransportError(
+                self._close_reason or "connection is closed"
+            )
+        info = probe(payload)
+        wire_id = self._allocate_id()
+        data = rewrite_id(payload, info, wire_id)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[wire_id] = (future, info.correlation_id)
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_record(data))
+                await self._writer.drain()
+            if deadline is None:
+                return await future
+            try:
+                return await asyncio.wait_for(future, deadline)
+            except asyncio.TimeoutError:
+                raise DeadlineError(
+                    "call exceeded its %.3fs deadline" % deadline
+                ) from None
+        finally:
+            self._pending.pop(wire_id, None)
+
+    async def asend(self, payload):
+        """Send a oneway request (no reply expected)."""
+        if self._closed:
+            raise TransportError(
+                self._close_reason or "connection is closed"
+            )
+        async with self._write_lock:
+            self._writer.write(encode_record(bytes(payload)))
+            await self._writer.drain()
+
+    async def aclose(self):
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending("connection closed")
+
+
+class ConnectionPool:
+    """A pool of multiplexed connections with deadlines and retries.
+
+    Connections are created lazily up to *size*; each call goes to the
+    least-loaded live connection.  Failed connections are discarded and
+    re-established on demand.  ``connector`` is injectable for tests.
+    """
+
+    def __init__(self, host, port, *, size=4, connect_timeout=10.0,
+                 options=None, connector=None,
+                 max_record_size=MAX_RECORD_SIZE):
+        self.host = host
+        self.port = port
+        self.size = max(1, size)
+        self.connect_timeout = connect_timeout
+        self.options = options or CallOptions()
+        self._connector = connector or self._default_connector
+        self._max_record_size = max_record_size
+        self._connections = []
+        self._connect_lock = asyncio.Lock()
+        self._closed = False
+
+    async def _default_connector(self):
+        return await AioConnection.open(
+            self.host, self.port, connect_timeout=self.connect_timeout,
+            max_record_size=self._max_record_size,
+        )
+
+    async def _get_connection(self):
+        if self._closed:
+            raise TransportError("connection pool is closed")
+        self._connections = [
+            connection for connection in self._connections
+            if not connection.closed
+        ]
+        if self._connections and len(self._connections) >= self.size:
+            return min(self._connections, key=lambda c: c.in_flight)
+        # Prefer an idle existing connection over dialing a new one.
+        for connection in self._connections:
+            if connection.in_flight == 0:
+                return connection
+        async with self._connect_lock:
+            if self._closed:
+                raise TransportError("connection pool is closed")
+            self._connections = [
+                connection for connection in self._connections
+                if not connection.closed
+            ]
+            if len(self._connections) < self.size:
+                connection = await self._connector()
+                self._connections.append(connection)
+                return connection
+        return min(self._connections, key=lambda c: c.in_flight)
+
+    # ------------------------------------------------------------------
+
+    def _attempts(self, options):
+        if options.retry is None:
+            return 1
+        return max(1, options.retry.max_attempts)
+
+    async def acall(self, payload, options=None):
+        """Two-way call with the pool's (or the given) options applied."""
+        options = options or self.options
+        attempts = self._attempts(options)
+        last_error = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(options.retry.delay(attempt - 1))
+            wrote_request = False
+            try:
+                connection = await self._get_connection()
+                wrote_request = True  # past here the server may execute it
+                return await connection.acall(
+                    payload, deadline=options.deadline
+                )
+            except DeadlineError:
+                raise  # the time budget is spent; never retry
+            except TransportError as error:
+                last_error = error
+                # Connect failures are always retryable (nothing was
+                # sent); post-send failures only for idempotent calls.
+                if wrote_request and not options.idempotent:
+                    raise
+        raise last_error
+
+    async def asend(self, payload, options=None):
+        """Oneway send; always retryable (the issue's oneway semantics)."""
+        options = options or self.options
+        attempts = self._attempts(options)
+        last_error = None
+        payload = bytes(payload)
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(options.retry.delay(attempt - 1))
+            try:
+                connection = await self._get_connection()
+                await connection.asend(payload)
+                return
+            except TransportError as error:
+                last_error = error
+        raise last_error
+
+    async def aclose(self):
+        self._closed = True
+        connections, self._connections = self._connections, []
+        for connection in connections:
+            await connection.aclose()
+
+    @property
+    def open_connections(self):
+        return sum(
+            1 for connection in self._connections if not connection.closed
+        )
+
+
+class _EventLoopThread:
+    """A lazily-created background event loop shared by sync facades."""
+
+    _shared = None
+    _shared_lock = threading.Lock()
+
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="flick-aio-client", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def run(self, coroutine, timeout=None):
+        """Run *coroutine* on the loop; block for (and return) its result."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self.loop)
+        try:
+            return future.result(timeout)
+        except asyncio.TimeoutError:
+            raise DeadlineError("call timed out") from None
+
+    @classmethod
+    def shared(cls):
+        with cls._shared_lock:
+            if cls._shared is None or not cls._shared._thread.is_alive():
+                cls._shared = cls()
+            return cls._shared
+
+
+class AioClientTransport(Transport):
+    """A synchronous Transport backed by the concurrent runtime.
+
+    Drop-in for :class:`~repro.runtime.socket_transport.TcpClientTransport`
+    — generated proxies work unchanged — but safe to share across threads:
+    concurrent calls multiplex over a pool of connections instead of
+    serializing.  Per-call deadlines and retry policy come from
+    :class:`~repro.runtime.aio.options.CallOptions`; :meth:`options`
+    derives a view with different options over the same pool.
+    """
+
+    def __init__(self, host, port, *, pool_size=1, options=None,
+                 connect_timeout=10.0, loop_thread=None):
+        self._runner = loop_thread or _EventLoopThread.shared()
+        self._options = options or CallOptions()
+        self._pool = ConnectionPool(
+            host, port, size=pool_size, connect_timeout=connect_timeout,
+            options=self._options,
+        )
+
+    # The Transport interface --------------------------------------------
+
+    def call(self, request):
+        return self._runner.run(
+            self._pool.acall(bytes(request), self._options)
+        )
+
+    def send(self, request):
+        self._runner.run(self._pool.asend(bytes(request), self._options))
+
+    def close(self):
+        self._runner.run(self._pool.aclose())
+
+    # Extras -------------------------------------------------------------
+
+    def options(self, **changes):
+        """A view over the same pool with changed :class:`CallOptions`.
+
+        Example: ``client = Client(transport.options(deadline=0.2,
+        idempotent=True))``.
+        """
+        return _OptionedTransport(self, self._options.but(**changes))
+
+    @property
+    def pool(self):
+        """The underlying :class:`ConnectionPool` (async-native access)."""
+        return self._pool
+
+
+class _OptionedTransport(Transport):
+    """A shallow view of an :class:`AioClientTransport` with its own
+    :class:`CallOptions`; shares the pool and connections."""
+
+    def __init__(self, base, options):
+        self._base = base
+        self._options = options
+
+    def call(self, request):
+        return self._base._runner.run(
+            self._base._pool.acall(bytes(request), self._options)
+        )
+
+    def send(self, request):
+        self._base._runner.run(
+            self._base._pool.asend(bytes(request), self._options)
+        )
+
+    def close(self):
+        """Closing a view is a no-op; close the base transport instead."""
+
+    def options(self, **changes):
+        return _OptionedTransport(self._base, self._options.but(**changes))

@@ -1,0 +1,144 @@
+"""Header probes: correlation ids and operation keys in raw messages.
+
+The concurrent runtime multiplexes many in-flight requests over one
+connection.  Rather than invent a new envelope (which would break
+interoperability with the blocking transports and with foreign ONC/GIOP
+peers), correlation rides in the id field the protocols already carry:
+the ONC RPC **XID** and the GIOP **request_id**.  Servers echo the id into
+the reply — the generated dispatch functions already do this — so a
+multiplexing client only needs to (a) stamp a connection-unique id into
+each outgoing request, and (b) route each incoming reply by its id.
+
+Generated stubs patch their own ids and verify them on replies
+(``_check_reply``), so the client transport *rewrites* the id on the way
+out and restores the original on the way back; stubs remain byte-level
+oblivious to multiplexing, and blocking peers interoperate unchanged.
+
+This module knows just enough of each protocol's header layout to find
+the id field and (for stats) the operation key; bodies are never touched.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import TransportError
+
+ONC_CALL = 0
+ONC_REPLY = 1
+GIOP_REQUEST = 0
+GIOP_REPLY = 1
+
+
+@dataclass(frozen=True)
+class MessageInfo:
+    """Where a message's correlation id lives, and what the message is.
+
+    Attributes:
+        protocol: ``"oncrpc"`` or ``"giop"``.
+        kind: ``"call"`` or ``"reply"``.
+        correlation_id: the id currently stored in the header.
+        id_offset: byte offset of the 4-byte id field.
+        id_format: the struct format for the id (endianness-aware).
+        op_key: the demux key for calls (ONC procedure number or GIOP
+            operation name bytes); ``None`` for replies.
+        expects_reply: for GIOP requests, the ``response_expected`` flag;
+            ONC calls always expect one at this layer (oneway ONC
+            operations simply never read it).
+    """
+
+    protocol: str
+    kind: str
+    correlation_id: int
+    id_offset: int
+    id_format: str
+    op_key: Optional[Union[int, bytes]] = None
+    expects_reply: bool = True
+
+
+def probe(payload):
+    """Classify *payload* and locate its correlation id.
+
+    Raises :class:`TransportError` for messages that are neither ONC RPC
+    nor GIOP — such traffic cannot be multiplexed (there is no id field
+    to correlate on) and callers should fall back to a serial transport.
+    """
+    data = bytes(payload) if not isinstance(payload, (bytes, bytearray)) \
+        else payload
+    if len(data) >= 12 and bytes(data[0:4]) == b"GIOP":
+        return _probe_giop(data)
+    if len(data) >= 8:
+        return _probe_onc(data)
+    raise TransportError(
+        "message too short to correlate (%d bytes)" % len(data)
+    )
+
+
+def _probe_onc(data):
+    xid, message_type = struct.unpack_from(">II", data, 0)
+    if message_type == ONC_CALL:
+        if len(data) < 24:
+            raise TransportError("truncated ONC RPC call header")
+        procedure = struct.unpack_from(">I", data, 20)[0]
+        return MessageInfo("oncrpc", "call", xid, 0, ">I", procedure)
+    if message_type == ONC_REPLY:
+        return MessageInfo("oncrpc", "reply", xid, 0, ">I")
+    raise TransportError(
+        "not an ONC RPC message (type %d)" % message_type
+    )
+
+
+def _skip_giop_service_contexts(data, endian):
+    """Offset just past the service-context list starting at byte 12."""
+    count = struct.unpack_from(endian + "I", data, 12)[0]
+    offset = 16
+    for _ in range(count):
+        if offset + 8 > len(data):
+            raise TransportError("truncated GIOP service context")
+        length = struct.unpack_from(endian + "I", data, offset + 4)[0]
+        offset += 8 + length
+        offset += -offset % 4
+    return offset
+
+
+def _probe_giop(data):
+    endian = "<" if data[6] else ">"
+    message_type = data[7]
+    if message_type == GIOP_REQUEST:
+        offset = _skip_giop_service_contexts(data, endian)
+        if offset + 5 > len(data):
+            raise TransportError("truncated GIOP Request header")
+        request_id = struct.unpack_from(endian + "I", data, offset)[0]
+        expects_reply = bool(data[offset + 4])
+        # Skip the response_expected octet and the object key to reach
+        # the operation name (the stub modules' demux key, sans NUL).
+        position = offset + 5
+        position += -position % 4
+        key_length = struct.unpack_from(endian + "I", data, position)[0]
+        position += 4 + key_length
+        position += -position % 4
+        op_length = struct.unpack_from(endian + "I", data, position)[0]
+        op_key = bytes(data[position + 4:position + 3 + op_length])
+        return MessageInfo("giop", "call", request_id, offset, endian + "I",
+                           op_key, expects_reply)
+    if message_type == GIOP_REPLY:
+        offset = _skip_giop_service_contexts(data, endian)
+        if offset + 4 > len(data):
+            raise TransportError("truncated GIOP Reply header")
+        request_id = struct.unpack_from(endian + "I", data, offset)[0]
+        return MessageInfo("giop", "reply", request_id, offset, endian + "I")
+    raise TransportError("unsupported GIOP message type %d" % message_type)
+
+
+def reply_correlation_id(payload):
+    """The correlation id of a reply message (fast path for readers)."""
+    return probe(payload).correlation_id
+
+
+def rewrite_id(payload, info, new_id):
+    """Return *payload* with the correlation id replaced by *new_id*."""
+    data = bytearray(payload)
+    struct.pack_into(info.id_format, data, info.id_offset, new_id)
+    return bytes(data)

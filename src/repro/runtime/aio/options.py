@@ -1,0 +1,80 @@
+"""Policy objects for the concurrent runtime: retries, deadlines, serving.
+
+These are plain frozen dataclasses so they can be shared between threads,
+embedded in CLI plumbing (``flick serve``), and compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for retryable failures.
+
+    A call is retried only when it is safe: connection establishment
+    failures (no request was ever written), oneway sends, and two-way
+    calls explicitly marked idempotent via :class:`CallOptions`.  Deadline
+    expiry is never retried — the time budget is already spent.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def delay(self, attempt):
+        """Backoff before retry number *attempt* (0-based)."""
+        return min(self.base_delay * (self.multiplier ** attempt),
+                   self.max_delay)
+
+
+@dataclass(frozen=True)
+class CallOptions:
+    """Per-call knobs a client transport applies to every request.
+
+    Attributes:
+        deadline: seconds allowed per attempt (connect + send + reply);
+            ``None`` disables the deadline.
+        idempotent: marks two-way calls as safe to retry after transport
+            failures that may have executed the request (read-only
+            operations).  Oneway sends are always treated as retryable.
+        retry: the backoff schedule; ``None`` disables retries entirely.
+    """
+
+    deadline: Optional[float] = None
+    idempotent: bool = False
+    retry: Optional[RetryPolicy] = RetryPolicy()
+
+    def but(self, **changes):
+        """A copy with *changes* applied."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Configuration for the ``flick serve`` verb and server helpers.
+
+    Attributes:
+        host/port: bind address (port 0 picks a free port).
+        aio: serve with the asyncio runtime instead of the blocking
+            thread-per-connection server.
+        max_concurrency: in-flight request cap for the asyncio server
+            (backpressure: reading stops while the limit is reached).
+        dispatch_mode: ``"thread"`` runs each dispatch in a worker-thread
+            pool sized ``max_concurrency`` (safe for blocking servants);
+            ``"inline"`` runs dispatch on the event loop (fastest for
+            non-blocking, CPU-light servants).
+        stats: collect and report per-operation metrics.
+        drain_timeout: seconds granted to in-flight requests at shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    aio: bool = False
+    max_concurrency: int = 64
+    dispatch_mode: str = "thread"
+    stats: bool = False
+    drain_timeout: float = 5.0

@@ -1,0 +1,318 @@
+"""The asyncio RPC server: concurrent serving of generated stub modules.
+
+:class:`AioTcpServer` serves the *same* generated ``dispatch`` functions
+and the *same* record-marked wire traffic as the blocking
+:class:`~repro.runtime.socket_transport.TcpServer`, but concurrently:
+
+* many connections multiplex onto one event loop;
+* many requests per connection run **in flight at once** (pipelining) —
+  replies carry the protocol's own correlation id (ONC XID / GIOP
+  request_id, echoed by the generated dispatch), so they may legally
+  complete out of order and blocking clients still interoperate because a
+  serial client only ever has one id outstanding;
+* each dispatch runs either on a worker thread pool (safe for blocking
+  servants) or inline on the loop (fastest for CPU-light servants);
+* a semaphore caps in-flight requests: when full, the server stops
+  *reading*, so TCP flow control pushes back on aggressive clients;
+* shutdown is graceful: stop accepting, drain in-flight requests with a
+  timeout, then close connections.
+
+The server is usable from asyncio code (``await server.start_async()`` /
+``await server.aclose()``) and from synchronous code (``start()`` /
+``stop()`` / ``with server:`` run the event loop on a daemon thread),
+mirroring the blocking servers' context-manager idiom.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.encoding.buffer import MarshalBuffer
+from repro.errors import RuntimeFlickError, TransportError
+from repro.runtime.framing import MAX_RECORD_SIZE, RecordDecoder, \
+    encode_record
+from repro.runtime.aio.correlation import probe
+
+#: Marshal buffers retained per connection for reuse across requests.
+BUFFER_POOL_LIMIT = 32
+
+#: Socket read chunk size.
+READ_CHUNK = 65536
+
+
+class _Connection:
+    """Per-connection serving state."""
+
+    __slots__ = ("reader", "writer", "decoder", "write_lock", "buffers",
+                 "tasks")
+
+    def __init__(self, reader, writer, max_record_size):
+        self.reader = reader
+        self.writer = writer
+        self.decoder = RecordDecoder(max_record_size)
+        self.write_lock = asyncio.Lock()
+        self.buffers = []
+        self.tasks = set()
+
+    def take_buffer(self):
+        if self.buffers:
+            return self.buffers.pop()
+        return MarshalBuffer()
+
+    def give_buffer(self, buffer):
+        if len(self.buffers) < BUFFER_POOL_LIMIT:
+            buffer.reset()
+            self.buffers.append(buffer)
+
+
+class AioTcpServer:
+    """An asyncio server around a generated dispatch function.
+
+    Args:
+        dispatch: the stub module's ``dispatch(request, impl, buffer)``.
+        impl: the servant.
+        host, port: bind address; port 0 picks a free port.
+        max_concurrency: cap on server-wide in-flight requests; reading
+            stops while the cap is reached (backpressure).
+        dispatch_mode: ``"thread"`` (default) runs each dispatch on a
+            thread pool sized *max_concurrency* so blocking servants
+            still interleave; ``"inline"`` runs dispatch directly on the
+            event loop — fastest when servants never block.
+        stats: an optional :class:`~repro.runtime.aio.stats.ServerStats`.
+        op_names: optional mapping from demux keys to display names for
+            stats (see :func:`repro.runtime.server.operation_names`).
+        drain_timeout: seconds granted to in-flight requests at shutdown.
+        max_record_size: per-record framing limit.
+    """
+
+    def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
+                 max_concurrency=64, dispatch_mode="thread", stats=None,
+                 op_names=None, drain_timeout=5.0,
+                 max_record_size=MAX_RECORD_SIZE):
+        if dispatch_mode not in ("thread", "inline"):
+            raise ValueError(
+                "dispatch_mode must be 'thread' or 'inline', not %r"
+                % (dispatch_mode,)
+            )
+        self._dispatch = dispatch
+        self._impl = impl
+        self._host = host
+        self._port = port
+        self.max_concurrency = max_concurrency
+        self.dispatch_mode = dispatch_mode
+        self.stats = stats
+        self._op_names = op_names or {}
+        self.drain_timeout = drain_timeout
+        self.max_record_size = max_record_size
+        self.address = None
+        # Async state (valid between start_async and aclose).
+        self._server = None
+        self._loop = None
+        self._executor = None
+        self._semaphore = None
+        self._connections = set()
+        self._tasks = set()
+        self._closing = False
+        # Sync-facade state.
+        self._thread = None
+        self._stop_event = None
+        self._start_error = None
+
+    # ------------------------------------------------------------------
+    # Async API
+    # ------------------------------------------------------------------
+
+    async def start_async(self):
+        """Bind and start accepting; returns self."""
+        self._loop = asyncio.get_running_loop()
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        if self.dispatch_mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_concurrency,
+                thread_name_prefix="flick-aio",
+            )
+        self._closing = False
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self.address = self._server.sockets[0].getsockname()
+        return self
+
+    async def aclose(self, drain=True):
+        """Graceful shutdown: refuse new work, drain in-flight, close."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._tasks:
+            done, pending = await asyncio.wait(
+                set(self._tasks), timeout=self.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            del done
+        for connection in list(self._connections):
+            connection.writer.close()
+        # Give transports a tick to run their close callbacks.
+        await asyncio.sleep(0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._server = None
+
+    async def __aenter__(self):
+        return await self.start_async()
+
+    async def __aexit__(self, exc_type, exc_value, traceback):
+        await self.aclose()
+        return False
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        connection = _Connection(reader, writer, self.max_record_size)
+        self._connections.add(connection)
+        try:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                import socket as _socket
+
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+            while not self._closing:
+                data = await reader.read(READ_CHUNK)
+                if not data:
+                    break
+                try:
+                    records = connection.decoder.feed(data)
+                except TransportError:
+                    break  # framing lost sync; drop the connection
+                for record in records:
+                    # Backpressure: block here (stopping further reads)
+                    # until an in-flight slot frees up.
+                    await self._semaphore.acquire()
+                    task = self._loop.create_task(
+                        self._serve_request(connection, record)
+                    )
+                    connection.tasks.add(task)
+                    self._tasks.add(task)
+                    task.add_done_callback(connection.tasks.discard)
+                    task.add_done_callback(self._tasks.discard)
+            # Half-close: the peer may still be waiting on in-flight
+            # replies after shutting down its write side.
+            if connection.tasks:
+                await asyncio.wait(set(connection.tasks))
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            writer.close()
+
+    async def _serve_request(self, connection, record):
+        started = time.perf_counter()
+        op_key = None
+        error = False
+        buffer = connection.take_buffer()
+        try:
+            if self.stats is not None:
+                try:
+                    info = probe(record)
+                    op_key = self._op_names.get(info.op_key, info.op_key)
+                except TransportError:
+                    op_key = "?"
+            try:
+                if self._executor is not None:
+                    has_reply = await self._loop.run_in_executor(
+                        self._executor, self._dispatch, record, self._impl,
+                        buffer,
+                    )
+                else:
+                    has_reply = self._dispatch(record, self._impl, buffer)
+            except RuntimeFlickError:
+                # Malformed request or dispatch failure: the blocking
+                # server drops the connection here; do the same (any
+                # pipelined peers see a transport error, not a hang).
+                error = True
+                connection.writer.close()
+                return
+            if has_reply:
+                payload = encode_record(buffer.view())
+                async with connection.write_lock:
+                    connection.writer.write(payload)
+                    await connection.writer.drain()
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            error = True
+        finally:
+            connection.give_buffer(buffer)
+            self._semaphore.release()
+            if self.stats is not None and op_key is not None:
+                self.stats.record(
+                    op_key, time.perf_counter() - started, error=error
+                )
+
+    # ------------------------------------------------------------------
+    # Sync facade (event loop on a daemon thread)
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Start serving on a background event-loop thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        started = threading.Event()
+        self._start_error = None
+
+        def run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self._run_on_thread(started))
+            finally:
+                started.set()  # in case startup itself failed
+                asyncio.set_event_loop(None)
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="flick-aio-server", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if self._start_error is not None:
+            error, self._start_error = self._start_error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    async def _run_on_thread(self, started):
+        self._stop_event = asyncio.Event()
+        try:
+            await self.start_async()
+        except Exception as error:  # surfaced by start()
+            self._start_error = error
+            return
+        finally:
+            started.set()
+        await self._stop_event.wait()
+        await self.aclose()
+
+    def stop(self, timeout=None):
+        """Gracefully stop a server started with :meth:`start`."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(
+            timeout=timeout if timeout is not None
+            else self.drain_timeout + 5.0
+        )
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        return False

@@ -1,0 +1,161 @@
+"""Server metrics: per-operation call counts, errors, latency histograms.
+
+The asyncio server records one observation per dispatched request; stats
+objects are cheap enough to leave on in production (one lock acquisition
+and a handful of integer increments per request).  Latencies land in
+log-spaced buckets, which keeps the memory footprint constant while still
+supporting meaningful percentile estimates over many orders of magnitude
+(an in-process dispatch takes microseconds; a slow servant, seconds).
+
+``flick serve --stats`` prints :meth:`ServerStats.format_table` on
+shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Histogram bucket upper bounds, seconds (log-spaced, 1-3-10 ladder).
+BUCKET_BOUNDS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimates."""
+
+    __slots__ = ("counts", "total", "sum_seconds", "max_seconds")
+
+    def __init__(self):
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds):
+        self.counts[bisect_left(BUCKET_BOUNDS, seconds)] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def percentile(self, q):
+        """The upper bound of the bucket holding the *q*-th percentile."""
+        if not self.total:
+            return 0.0
+        rank = max(1, int(self.total * q / 100.0 + 0.5))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    return BUCKET_BOUNDS[index]
+                return self.max_seconds
+        return self.max_seconds
+
+    @property
+    def mean(self):
+        return self.sum_seconds / self.total if self.total else 0.0
+
+
+class OperationStats:
+    """Counters for one operation."""
+
+    __slots__ = ("calls", "errors", "histogram")
+
+    def __init__(self):
+        self.calls = 0
+        self.errors = 0
+        self.histogram = LatencyHistogram()
+
+
+class ServerStats:
+    """Thread-safe per-operation metrics for a server.
+
+    Keys are demux keys (ONC procedure numbers, GIOP operation names) or,
+    when the server was built through :meth:`StubServer.aio_server`, the
+    human-readable operation names resolved from the stub module.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._operations = {}
+
+    def record(self, op_key, seconds, error=False):
+        with self._lock:
+            stats = self._operations.get(op_key)
+            if stats is None:
+                stats = self._operations[op_key] = OperationStats()
+            stats.calls += 1
+            if error:
+                stats.errors += 1
+            stats.histogram.observe(seconds)
+
+    def snapshot(self):
+        """A plain-dict view: op -> calls/errors/mean/p50/p95/p99/max."""
+        with self._lock:
+            result = {}
+            for op_key, stats in self._operations.items():
+                histogram = stats.histogram
+                result[op_key] = {
+                    "calls": stats.calls,
+                    "errors": stats.errors,
+                    "mean_s": histogram.mean,
+                    "p50_s": histogram.percentile(50),
+                    "p95_s": histogram.percentile(95),
+                    "p99_s": histogram.percentile(99),
+                    "max_s": histogram.max_seconds,
+                }
+            return result
+
+    @property
+    def total_calls(self):
+        with self._lock:
+            return sum(stats.calls for stats in self._operations.values())
+
+    @property
+    def total_errors(self):
+        with self._lock:
+            return sum(stats.errors for stats in self._operations.values())
+
+    def format_table(self):
+        """A printable table of the snapshot."""
+        snapshot = self.snapshot()
+        header = ("operation", "calls", "errors", "mean", "p50", "p95",
+                  "p99", "max")
+        rows = [header]
+        for op_key in sorted(snapshot, key=str):
+            data = snapshot[op_key]
+            rows.append((
+                str(op_key),
+                str(data["calls"]),
+                str(data["errors"]),
+                _fmt_seconds(data["mean_s"]),
+                _fmt_seconds(data["p50_s"]),
+                _fmt_seconds(data["p95_s"]),
+                _fmt_seconds(data["p99_s"]),
+                _fmt_seconds(data["max_s"]),
+            ))
+        widths = [
+            max(len(row[column]) for row in rows)
+            for column in range(len(header))
+        ]
+        lines = []
+        for index, row in enumerate(rows):
+            lines.append("  ".join(
+                cell.ljust(width) if column == 0 else cell.rjust(width)
+                for column, (cell, width) in enumerate(zip(row, widths))
+            ))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+
+def _fmt_seconds(seconds):
+    if seconds >= 1.0:
+        return "%.2fs" % seconds
+    if seconds >= 1e-3:
+        return "%.2fms" % (seconds * 1e3)
+    return "%.0fus" % (seconds * 1e6)

@@ -7,11 +7,28 @@ from repro.runtime.transport import LoopbackTransport
 from repro.runtime.socket_transport import TcpServer, UdpServer
 
 
+def operation_names(module):
+    """Map a stub module's demux keys to operation names (for stats).
+
+    Stub modules generated with ``hash_demux`` expose ``_HANDLERS``,
+    whose values are the per-operation handlers ``_h_<operation>``;
+    modules compiled with the if-chain demux simply get raw keys.
+    """
+    handlers = getattr(module, "_HANDLERS", None)
+    if not handlers:
+        return {}
+    names = {}
+    for key, handler in handlers.items():
+        name = getattr(handler, "__name__", "")
+        names[key] = name[3:] if name.startswith("_h_") else str(key)
+    return names
+
+
 class StubServer:
     """Binds a generated stub module's dispatch to an implementation.
 
     Provides direct (in-process) serving plus helpers to expose the same
-    servant over TCP or UDP.
+    servant over TCP or UDP — blocking or concurrent (asyncio).
     """
 
     def __init__(self, module, impl):
@@ -35,3 +52,17 @@ class StubServer:
 
     def udp_server(self, host="127.0.0.1", port=0):
         return UdpServer(self.module.dispatch, self.impl, host, port)
+
+    def aio_server(self, host="127.0.0.1", port=0, **kwargs):
+        """A concurrent asyncio server for this servant.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.runtime.aio.server.AioTcpServer`; stats get
+        human-readable operation names resolved from the stub module.
+        """
+        from repro.runtime.aio import AioTcpServer
+
+        kwargs.setdefault("op_names", operation_names(self.module))
+        return AioTcpServer(
+            self.module.dispatch, self.impl, host, port, **kwargs
+        )

@@ -2,9 +2,12 @@
 
 These carry generated messages over the loopback (or any) network for the
 examples and integration tests.  TCP framing follows ONC RPC's record
-marking convention (RFC 1831 section 10): each record is preceded by a
-4-byte big-endian word whose top bit marks the final fragment and whose low
-31 bits give the fragment length.  UDP sends each message as one datagram.
+marking convention (RFC 1831 section 10) via the shared codec in
+:mod:`repro.runtime.framing`.  UDP sends each message as one datagram.
+
+Both servers shut down gracefully: ``stop()`` closes the listening socket
+(refusing new work), unblocks every worker, and joins all threads with a
+timeout, so tests and examples do not leak threads.
 """
 
 from __future__ import annotations
@@ -15,38 +18,77 @@ import threading
 
 from repro.errors import TransportError
 from repro.encoding.buffer import MarshalBuffer
+from repro.runtime.framing import (
+    HEADER_SIZE,
+    LAST_FRAGMENT,
+    MAX_FRAGMENTS_PER_RECORD,
+    MAX_RECORD_SIZE,
+    encode_record,
+)
 from repro.runtime.transport import Transport
 
-_LAST_FRAGMENT = 0x80000000
+_LAST_FRAGMENT = LAST_FRAGMENT  # backward-compatible alias
 MAX_UDP_SIZE = 65000
 
 
 def _send_record(sock, payload):
-    header = struct.pack(">I", _LAST_FRAGMENT | len(payload))
-    sock.sendall(header)
-    sock.sendall(payload)
+    sock.sendall(encode_record(payload))
 
 
-def _recv_exact(sock, size):
+def _recv_exact(sock, size, what="record"):
     chunks = []
     remaining = size
     while remaining:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as error:
+            raise TransportError(
+                "connection error while reading %s: %s" % (what, error)
+            ) from error
         if not chunk:
-            raise TransportError("connection closed mid-record")
+            received = size - remaining
+            if received:
+                raise TransportError(
+                    "connection closed mid-%s: got %d of %d bytes"
+                    % (what, received, size)
+                )
+            raise TransportError("connection closed mid-%s" % what)
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
 
 
-def _recv_record(sock):
+def _recv_record(sock, max_record_size=MAX_RECORD_SIZE):
     fragments = []
+    total = 0
     while True:
-        (word,) = struct.unpack(">I", _recv_exact(sock, 4))
-        length = word & ~_LAST_FRAGMENT
-        fragments.append(_recv_exact(sock, length))
-        if word & _LAST_FRAGMENT:
+        header = _recv_exact(sock, HEADER_SIZE, "record header")
+        (word,) = struct.unpack(">I", header)
+        length = word & ~LAST_FRAGMENT
+        total += length
+        if total > max_record_size:
+            raise TransportError(
+                "record of %d+ bytes exceeds the %d-byte limit"
+                % (total, max_record_size)
+            )
+        fragments.append(_recv_exact(sock, length, "record body"))
+        if word & LAST_FRAGMENT:
             return b"".join(fragments)
+        if len(fragments) >= MAX_FRAGMENTS_PER_RECORD:
+            raise TransportError(
+                "record spread over more than %d fragments"
+                % MAX_FRAGMENTS_PER_RECORD
+            )
+
+
+def _check_udp_size(payload):
+    if len(payload) > MAX_UDP_SIZE:
+        raise TransportError(
+            "message of %d bytes exceeds the %d-byte UDP datagram limit;"
+            " use a TCP transport for large messages"
+            % (len(payload), MAX_UDP_SIZE)
+        )
+    return payload
 
 
 class TcpClientTransport(Transport):
@@ -80,10 +122,13 @@ class TcpServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(8)
+        self._listener.listen(64)
         self.address = self._listener.getsockname()
         self._running = False
         self._thread = None
+        self._lock = threading.Lock()
+        self._workers = []
+        self._connections = set()
 
     def start(self):
         self._running = True
@@ -97,9 +142,19 @@ class TcpServer:
                 connection, _peer = self._listener.accept()
             except OSError:
                 return
-            worker = threading.Thread(
-                target=self._serve_connection, args=(connection,), daemon=True
-            )
+            with self._lock:
+                if not self._running:
+                    connection.close()
+                    return
+                self._connections.add(connection)
+                self._workers = [
+                    worker for worker in self._workers if worker.is_alive()
+                ]
+                worker = threading.Thread(
+                    target=self._serve_connection, args=(connection,),
+                    daemon=True,
+                )
+                self._workers.append(worker)
             worker.start()
 
     def _serve_connection(self, connection):
@@ -114,15 +169,44 @@ class TcpServer:
                 buffer.reset()
                 if self._dispatch(request, self._impl, buffer):
                     _send_record(connection, buffer.view())
+        except OSError:
+            pass
         finally:
+            with self._lock:
+                self._connections.discard(connection)
             connection.close()
 
-    def stop(self):
+    def stop(self, timeout=2.0):
+        """Close the listener, unblock workers, and join all threads."""
         self._running = False
+        try:
+            # shutdown() before close(): a close alone does not wake a
+            # thread blocked in accept() — the in-progress syscall keeps
+            # the kernel socket alive, silently accepting connections.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        with self._lock:
+            connections = list(self._connections)
+            workers = list(self._workers)
+        for connection in connections:
+            # Shut down rather than close: wakes a worker blocked in
+            # recv() with EOF instead of racing its file descriptor.
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        for worker in workers:
+            worker.join(timeout=timeout)
+        with self._lock:
+            self._workers = []
 
     def __enter__(self):
         return self.start()
@@ -141,21 +225,13 @@ class UdpClientTransport(Transport):
         self._address = (host, port)
 
     def call(self, request):
-        payload = bytes(request)
-        if len(payload) > MAX_UDP_SIZE:
-            raise TransportError(
-                "message of %d bytes exceeds the UDP limit" % len(payload)
-            )
+        payload = _check_udp_size(bytes(request))
         self._sock.sendto(payload, self._address)
         reply, _peer = self._sock.recvfrom(65536)
         return reply
 
     def send(self, request):
-        payload = bytes(request)
-        if len(payload) > MAX_UDP_SIZE:
-            raise TransportError(
-                "message of %d bytes exceeds the UDP limit" % len(payload)
-            )
+        payload = _check_udp_size(bytes(request))
         self._sock.sendto(payload, self._address)
 
     def close(self):
@@ -192,12 +268,19 @@ class UdpServer:
                 return
             buffer.reset()
             if self._dispatch(request, self._impl, buffer):
-                self._sock.sendto(buffer.getvalue(), peer)
+                reply = buffer.getvalue()
+                if len(reply) > MAX_UDP_SIZE:
+                    # An oversized reply cannot be sent as one datagram;
+                    # drop it rather than crash the serve loop (the
+                    # client's recv will time out, mirroring UDP loss).
+                    continue
+                self._sock.sendto(reply, peer)
 
-    def stop(self):
+    def stop(self, timeout=2.0):
         self._running = False
         if self._thread is not None:
-            self._thread.join(timeout=2.0)
+            self._thread.join(timeout=timeout)
+            self._thread = None
         self._sock.close()
 
     def __enter__(self):

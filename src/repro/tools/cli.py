@@ -87,6 +87,52 @@ def build_parser():
     inspect_parser.add_argument("--backend", default=None)
     inspect_parser.add_argument("--interface", default=None)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="compile an IDL interface and serve it over TCP",
+    )
+    serve_parser.add_argument("input", help="IDL source file")
+    serve_parser.add_argument(
+        "--impl", required=True,
+        help="servant implementation as module:Class; the class is"
+             " instantiated with the stub module (or with no arguments)",
+    )
+    serve_parser.add_argument("--frontend", default=None)
+    serve_parser.add_argument("--pgen", default=None)
+    serve_parser.add_argument(
+        "--backend", default=None,
+        help="wire protocol: iiop or oncrpc-xdr"
+             " (default: the front end's default)",
+    )
+    serve_parser.add_argument("--interface", default=None)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (0 picks a free port)")
+    serve_parser.add_argument(
+        "--aio", action="store_true",
+        help="serve with the concurrent asyncio runtime (pipelining,"
+             " backpressure, graceful drain) instead of the blocking"
+             " thread-per-connection server",
+    )
+    serve_parser.add_argument(
+        "--stats", action="store_true",
+        help="collect per-operation call counts, errors, and latency"
+             " histograms; printed at shutdown (requires --aio)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="in-flight request cap for the asyncio runtime",
+    )
+    serve_parser.add_argument(
+        "--dispatch-mode", choices=("thread", "inline"), default="thread",
+        help="run each dispatch on a worker thread (safe for blocking"
+             " servants) or inline on the event loop (fastest)",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds, then exit (default: forever)",
+    )
+
     sub.add_parser("list", help="list front ends, presentations, back ends")
     return parser
 
@@ -284,6 +330,128 @@ def command_inspect(args):
     return 0
 
 
+#: Back ends whose messages the socket servers can carry.
+_SERVABLE_BACKENDS = ("iiop", "oncrpc-xdr")
+
+
+def _load_servant(spec, stub_module):
+    """Instantiate the servant named by a ``module:Class`` spec."""
+    import importlib
+
+    module_name, separator, class_name = spec.partition(":")
+    if not separator or not module_name or not class_name:
+        raise FlickError(
+            "--impl must look like module:Class, not %r" % spec
+        )
+    cwd = os.getcwd()
+    if cwd not in sys.path:
+        sys.path.insert(0, cwd)
+    try:
+        impl_module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise FlickError(
+            "cannot import servant module %r: %s" % (module_name, error)
+        )
+    try:
+        impl_class = getattr(impl_module, class_name)
+    except AttributeError:
+        raise FlickError(
+            "module %r has no class %r" % (module_name, class_name)
+        )
+    try:
+        return impl_class(stub_module)
+    except TypeError:
+        return impl_class()
+
+
+def _compile_for_serving(args, text):
+    from repro.core import Flick
+
+    frontend = args.frontend or _guess_frontend(args.input)
+    if frontend == "mig":
+        raise FlickError(
+            "serve carries TCP protocols only (iiop, oncrpc-xdr);"
+            " MIG subsystems target kernel IPC"
+        )
+    flick = Flick(frontend=frontend, presentation=args.pgen,
+                  backend=args.backend)
+    if flick.backend not in _SERVABLE_BACKENDS:
+        raise FlickError(
+            "serve supports the %s back ends, not %r"
+            % (" and ".join(_SERVABLE_BACKENDS), flick.backend)
+        )
+    if args.interface:
+        return flick.compile(text, interface=args.interface,
+                             name=args.input)
+    by_name = flick.compile_all(text, name=args.input)
+    if not by_name:
+        raise FlickError("the input defines no interfaces")
+    if len(by_name) > 1:
+        raise FlickError(
+            "the input defines several interfaces (%s);"
+            " pick one with --interface" % ", ".join(sorted(by_name))
+        )
+    return next(iter(by_name.values()))
+
+
+def command_serve(args):
+    """Compile an interface, bind a servant, and serve it over TCP."""
+    import time
+
+    from repro.runtime import ServerStats, StubServer
+    from repro.runtime.aio import ServeOptions
+
+    options = ServeOptions(
+        host=args.host, port=args.port, aio=args.aio,
+        max_concurrency=args.max_concurrency,
+        dispatch_mode=args.dispatch_mode, stats=args.stats,
+    )
+    if options.stats and not options.aio:
+        raise FlickError(
+            "--stats requires --aio (the blocking server has no"
+            " metrics hooks)"
+        )
+    with open(args.input) as handle:
+        text = handle.read()
+    result = _compile_for_serving(args, text)
+    stub_module = result.load_module()
+    impl = _load_servant(args.impl, stub_module)
+    stub_server = StubServer(stub_module, impl)
+    stats = ServerStats() if options.stats else None
+    if options.aio:
+        server = stub_server.aio_server(
+            options.host, options.port,
+            max_concurrency=options.max_concurrency,
+            dispatch_mode=options.dispatch_mode,
+            stats=stats,
+            drain_timeout=options.drain_timeout,
+        )
+        runtime_name = "asyncio runtime, %s dispatch" % options.dispatch_mode
+    else:
+        server = stub_server.tcp_server(options.host, options.port)
+        runtime_name = "blocking thread-per-connection"
+    with server:
+        host, port = server.address
+        print(
+            "serving %s (%s back end; %s) on %s:%d"
+            % (result.stubs.interface_name, result.stubs.backend_name,
+               runtime_name, host, port),
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down (draining in-flight requests)",
+                  flush=True)
+    if stats is not None:
+        print(stats.format_table(), flush=True)
+    return 0
+
+
 def command_list(_args):
     from repro.backend import BACKENDS
     from repro.pgen import PRESENTATIONS
@@ -304,6 +472,8 @@ def main(argv=None):
             return command_compile(args)
         if args.command == "inspect":
             return command_inspect(args)
+        if args.command == "serve":
+            return command_serve(args)
         if args.command == "list":
             return command_list(args)
     except (FlickError, OSError) as error:

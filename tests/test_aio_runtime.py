@@ -1,0 +1,600 @@
+"""Integration tests for the concurrent runtime (`repro.runtime.aio`).
+
+The contract under test: the aio server and client speak *byte-identical*
+wire traffic to the blocking transports (cross-compat both directions),
+pipeline many in-flight requests per connection, enforce per-call
+deadlines, retry idempotent work, and shut down gracefully.
+"""
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.encoding import MarshalBuffer
+from repro.errors import DeadlineError, TransportError
+from repro.runtime import (
+    StubServer,
+    TcpClientTransport,
+    operation_names,
+)
+from repro.runtime.aio import (
+    AioClientTransport,
+    AioConnection,
+    CallOptions,
+    ConnectionPool,
+    RetryPolicy,
+    ServeOptions,
+    ServerStats,
+)
+from repro.runtime.framing import RecordDecoder, encode_record
+from repro.runtime.socket_transport import _recv_record
+
+from tests.conftest import MailImpl, compile_mail
+
+
+@pytest.fixture(scope="module")
+def onc_module():
+    return compile_mail("oncrpc-xdr").load_module()
+
+
+@pytest.fixture(scope="module")
+def iiop_module():
+    return compile_mail("iiop").load_module()
+
+
+class SlowImpl(MailImpl):
+    """Servant whose avg() blocks, tracking observed concurrency."""
+
+    def __init__(self, module, delay=0.05):
+        super().__init__(module)
+        self.delay = delay
+        self._lock = threading.Lock()
+        self.active = 0
+        self.max_active = 0
+
+    def avg(self, xs):
+        with self._lock:
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        time.sleep(self.delay)
+        with self._lock:
+            self.active -= 1
+        return super().avg(xs)
+
+
+def _avg_request(module, xid, values):
+    buffer = MarshalBuffer()
+    module._m_req_avg(buffer, xid, values)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Concurrency: many clients, pipelining, interleaving
+# ----------------------------------------------------------------------
+
+class TestServerConcurrency:
+    def test_32_concurrent_clients_interleave(self, onc_module):
+        """32 blocking threads against a slow servant finish in a small
+        multiple of one call's latency — the server interleaves."""
+        impl = SlowImpl(onc_module, delay=0.05)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread", max_concurrency=64
+        )
+        errors = []
+        with server:
+            transport = AioClientTransport(*server.address, pool_size=4)
+
+            def worker(value):
+                try:
+                    client = onc_module.Test_MailClient(transport)
+                    if client.avg([value, value + 2]) != value + 1.0:
+                        errors.append(value)
+                except Exception as error:  # pragma: no cover
+                    errors.append((value, repr(error)))
+
+            threads = [
+                threading.Thread(target=worker, args=(n * 10,))
+                for n in range(32)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            elapsed = time.perf_counter() - start
+            transport.close()
+        assert not errors, errors
+        # Serial execution would take 32 * 0.05 = 1.6s.
+        assert elapsed < 1.0, elapsed
+        assert impl.max_active >= 8, impl.max_active
+
+    def test_pipelining_on_one_connection(self, onc_module):
+        """Many requests in flight on a *single* TCP connection run
+        concurrently server-side and each reply reaches its caller."""
+        impl = SlowImpl(onc_module, delay=0.05)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread", max_concurrency=64
+        )
+        with server:
+            async def main():
+                connection = await AioConnection.open(*server.address)
+                start = time.perf_counter()
+                replies = await asyncio.gather(*[
+                    connection.acall(_avg_request(onc_module, 1, [n]))
+                    for n in range(16)
+                ])
+                elapsed = time.perf_counter() - start
+                await connection.aclose()
+                return replies, elapsed
+
+            replies, elapsed = asyncio.run(main())
+        values = [onc_module._u_rep_avg(r, 24) for r in replies]
+        assert values == [float(n) for n in range(16)]
+        assert elapsed < 0.4, elapsed  # serial would be 0.8s
+        assert impl.max_active >= 8
+
+    def test_backpressure_cap_still_completes(self, onc_module):
+        """A tiny max_concurrency serializes but never deadlocks."""
+        impl = SlowImpl(onc_module, delay=0.01)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread", max_concurrency=2
+        )
+        with server:
+            async def main():
+                connection = await AioConnection.open(*server.address)
+                replies = await asyncio.gather(*[
+                    connection.acall(_avg_request(onc_module, 1, [n]))
+                    for n in range(12)
+                ])
+                await connection.aclose()
+                return replies
+
+            replies = asyncio.run(main())
+        assert len(replies) == 12
+        assert impl.max_active <= 2
+
+
+# ----------------------------------------------------------------------
+# Deadlines, cancellation, retry
+# ----------------------------------------------------------------------
+
+class TestDeadlines:
+    def test_deadline_expiry_and_recovery(self, onc_module):
+        impl = SlowImpl(onc_module, delay=0.25)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread"
+        )
+        with server:
+            transport = AioClientTransport(*server.address)
+            client = onc_module.Test_MailClient(
+                transport.options(deadline=0.05)
+            )
+            with pytest.raises(DeadlineError):
+                client.avg([1, 2])
+            # The connection survives the expired call: the late reply
+            # is dropped (orphaned), and new calls still work.
+            impl.delay = 0.0
+            patient = onc_module.Test_MailClient(transport)
+            assert patient.avg([4, 6]) == 5.0
+            deadline_hit = time.time() + 2
+            connection = transport.pool._connections[0]
+            while connection.orphan_replies == 0 and time.time() < deadline_hit:
+                time.sleep(0.01)
+            assert connection.orphan_replies == 1
+            transport.close()
+
+    def test_cancellation_releases_slot(self, onc_module):
+        impl = SlowImpl(onc_module, delay=0.3)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread"
+        )
+        with server:
+            async def main():
+                connection = await AioConnection.open(*server.address)
+                task = asyncio.ensure_future(
+                    connection.acall(_avg_request(onc_module, 1, [5]))
+                )
+                await asyncio.sleep(0.05)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                assert connection.in_flight == 0
+                # The connection is still usable afterwards.
+                impl.delay = 0.0
+                reply = await connection.acall(
+                    _avg_request(onc_module, 2, [8])
+                )
+                await connection.aclose()
+                return reply
+
+            reply = asyncio.run(main())
+        assert onc_module._u_rep_avg(reply, 24) == 8.0
+
+
+class TestRetry:
+    def test_retry_reconnects_with_backoff(self, onc_module):
+        """Connect failures are retried (nothing was sent) and the
+        injected connector sees exponential attempts."""
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).aio_server()
+        with server:
+            attempts = []
+
+            async def main():
+                async def flaky_connector():
+                    attempts.append(time.perf_counter())
+                    if len(attempts) < 3:
+                        raise TransportError("synthetic connect failure")
+                    return await AioConnection.open(*server.address)
+
+                pool = ConnectionPool(
+                    *server.address,
+                    connector=flaky_connector,
+                    options=CallOptions(
+                        retry=RetryPolicy(
+                            max_attempts=3, base_delay=0.01
+                        )
+                    ),
+                )
+                reply = await pool.acall(_avg_request(onc_module, 1, [9]))
+                await pool.aclose()
+                return reply
+
+            reply = asyncio.run(main())
+        assert onc_module._u_rep_avg(reply, 24) == 9.0
+        assert len(attempts) == 3
+        # Exponential backoff: the second gap is at least the first.
+        gap1 = attempts[1] - attempts[0]
+        gap2 = attempts[2] - attempts[1]
+        assert gap2 > gap1 * 1.2
+
+    def test_exhausted_retries_raise_last_error(self):
+        async def main():
+            async def always_down():
+                raise TransportError("still down")
+
+            pool = ConnectionPool(
+                "127.0.0.1", 1,
+                connector=always_down,
+                options=CallOptions(
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.001)
+                ),
+            )
+            with pytest.raises(TransportError, match="still down"):
+                await pool.acall(b"\0" * 40)
+
+        asyncio.run(main())
+
+    def test_post_send_failure_only_retried_if_idempotent(self, onc_module):
+        """A connection that dies after the request was written is only
+        retried when the call is marked idempotent."""
+        request = _avg_request(onc_module, 1, [3])
+        accepted = []
+
+        def _hangup_server():
+            listener = socket.socket()
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(8)
+
+            def run():
+                while True:
+                    try:
+                        connection, _addr = listener.accept()
+                    except OSError:
+                        return
+                    accepted.append(connection)
+                    try:
+                        connection.recv(4096)  # read the request...
+                    except OSError:
+                        pass
+                    connection.close()       # ...and hang up on it
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            return listener
+
+        listener = _hangup_server()
+        host, port = listener.getsockname()
+        try:
+            async def call_with(idempotent):
+                pool = ConnectionPool(
+                    host, port,
+                    options=CallOptions(
+                        idempotent=idempotent,
+                        retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+                    ),
+                )
+                try:
+                    with pytest.raises(TransportError):
+                        await pool.acall(request)
+                finally:
+                    await pool.aclose()
+
+            asyncio.run(call_with(False))
+            non_idempotent_dials = len(accepted)
+            asyncio.run(call_with(True))
+            idempotent_dials = len(accepted) - non_idempotent_dials
+        finally:
+            listener.close()
+        assert non_idempotent_dials == 1     # fail fast: may have run
+        assert idempotent_dials == 3         # safe to retry: all attempts
+
+    def test_deadline_error_is_never_retried(self, onc_module):
+        impl = SlowImpl(onc_module, delay=0.3)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread"
+        )
+        with server:
+            async def main():
+                pool = ConnectionPool(
+                    *server.address,
+                    options=CallOptions(
+                        deadline=0.05,
+                        idempotent=True,
+                        retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+                    ),
+                )
+                start = time.perf_counter()
+                with pytest.raises(DeadlineError):
+                    await pool.acall(_avg_request(onc_module, 1, [1]))
+                elapsed = time.perf_counter() - start
+                await pool.aclose()
+                return elapsed
+
+            elapsed = asyncio.run(main())
+        # One deadline window, not three: the budget is spent.
+        assert elapsed < 0.15, elapsed
+
+
+# ----------------------------------------------------------------------
+# Cross-compatibility with the blocking runtime
+# ----------------------------------------------------------------------
+
+class TestCrossCompat:
+    def test_blocking_client_against_aio_server(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).aio_server()
+        with server:
+            transport = TcpClientTransport(*server.address)
+            try:
+                client = onc_module.Test_MailClient(transport)
+                assert client.avg([3, 5]) == 4.0
+                rect = onc_module.Test_Rect(
+                    onc_module.Test_Point(1, 2),
+                    onc_module.Test_Point(3, 4),
+                )
+                assert client.send("net", rect, (0, 1)) == (8, (0, 1), 2)
+                with pytest.raises(onc_module.Test_Bad):
+                    client.send("fail", rect, (0, 1))
+                data = bytes(range(256)) * 64
+                assert client.reverse(data) == data[::-1]
+                client.ping(77)
+                client.avg([0])  # orders the oneway before it
+                assert impl.last_ping == 77
+            finally:
+                transport.close()
+
+    def test_aio_client_against_blocking_server(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        with server:
+            transport = AioClientTransport(*server.address, pool_size=2)
+            try:
+                client = onc_module.Test_MailClient(transport)
+                assert client.avg([3, 5]) == 4.0
+                data = bytes(range(256)) * 64
+                assert client.reverse(data) == data[::-1]
+                client.ping(31)
+                client.avg([0])
+                assert impl.last_ping == 31
+            finally:
+                transport.close()
+
+    def test_wire_traffic_byte_identical(self, onc_module):
+        """The acceptance-criterion proof, both directions.
+
+        Server side: the same request bytes produce byte-identical reply
+        records from the in-process reference (`serve_bytes`), the
+        blocking `TcpServer`, and `AioTcpServer`.
+
+        Client side: for the same first stub call, the blocking client
+        and the aio client put byte-identical request records on the
+        wire (the aio id rewrite is an identity here: both number their
+        first call 1).
+        """
+        request = _avg_request(onc_module, 1, [2, 4, 6])
+        reference = StubServer(
+            onc_module, MailImpl(onc_module)
+        ).serve_bytes(request)
+
+        def roundtrip_raw(address):
+            sock = socket.create_connection(address, timeout=5)
+            try:
+                sock.sendall(encode_record(request))
+                return _recv_record(sock)
+            finally:
+                sock.close()
+
+        blocking_server = StubServer(
+            onc_module, MailImpl(onc_module)
+        ).tcp_server()
+        with blocking_server:
+            from_blocking = roundtrip_raw(blocking_server.address)
+        aio_server = StubServer(
+            onc_module, MailImpl(onc_module)
+        ).aio_server()
+        with aio_server:
+            from_aio = roundtrip_raw(aio_server.address)
+        assert from_blocking == reference
+        assert from_aio == reference
+
+        # Client side: record what each client transport actually sends.
+        captured = {}
+
+        def capture_with(key, make_transport):
+            stub_server = StubServer(onc_module, MailImpl(onc_module))
+            listener = socket.socket()
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+
+            def run():
+                connection, _addr = listener.accept()
+                decoder = RecordDecoder()
+                while True:
+                    data = connection.recv(65536)
+                    if not data:
+                        break
+                    for record in decoder.feed(data):
+                        captured[key] = record
+                        reply = stub_server.serve_bytes(record)
+                        connection.sendall(encode_record(reply))
+                connection.close()
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            transport = make_transport(listener.getsockname())
+            try:
+                client = onc_module.Test_MailClient(transport)
+                assert client.avg([2, 4, 6]) == 4.0
+            finally:
+                transport.close()
+                listener.close()
+            thread.join(timeout=5)
+
+        capture_with(
+            "blocking", lambda address: TcpClientTransport(*address)
+        )
+        capture_with(
+            "aio", lambda address: AioClientTransport(*address)
+        )
+        assert captured["blocking"] == captured["aio"]
+
+    def test_giop_over_aio(self, iiop_module):
+        """The GIOP wire format multiplexes too: request_id correlation,
+        user exceptions, inout/out parameters."""
+        impl = MailImpl(iiop_module)
+        server = StubServer(iiop_module, impl).aio_server()
+        with server:
+            transport = AioClientTransport(*server.address, pool_size=2)
+            try:
+                client = iiop_module.Test_MailClient(transport)
+                assert client.avg([3, 5]) == 4.0
+                rect = iiop_module.Test_Rect(
+                    iiop_module.Test_Point(1, 2),
+                    iiop_module.Test_Point(3, 4),
+                )
+                assert client.send("net", rect, (0, 1)) == (8, (0, 1), 2)
+                with pytest.raises(iiop_module.Test_Bad):
+                    client.send("fail", rect, (0, 1))
+            finally:
+                transport.close()
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown, stats, plumbing
+# ----------------------------------------------------------------------
+
+class TestGracefulShutdown:
+    def test_drain_completes_in_flight_call(self, onc_module):
+        impl = SlowImpl(onc_module, delay=0.2)
+        server = StubServer(onc_module, impl).aio_server(
+            dispatch_mode="thread"
+        )
+        server.start()
+        transport = AioClientTransport(*server.address)
+        client = onc_module.Test_MailClient(transport)
+        result = {}
+
+        def call():
+            result["value"] = client.avg([10, 20])
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        time.sleep(0.05)  # the call is now in flight
+        server.stop()     # graceful: drains before closing
+        thread.join(timeout=5)
+        transport.close()
+        assert result.get("value") == 15.0
+
+    def test_stopped_server_refuses_connections(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).aio_server()
+        server.start()
+        address = server.address
+        server.stop()
+        with pytest.raises(TransportError):
+            AioClientTransport(*address, connect_timeout=1.0).call(
+                _avg_request(onc_module, 1, [1])
+            )
+
+
+class TestStats:
+    def test_per_operation_counters_and_latency(self, onc_module):
+        impl = MailImpl(onc_module)
+        stats = ServerStats()
+        server = StubServer(onc_module, impl).aio_server(stats=stats)
+        with server:
+            transport = AioClientTransport(*server.address)
+            try:
+                client = onc_module.Test_MailClient(transport)
+                for n in range(5):
+                    client.avg([n])
+                client.reverse(b"ab")
+                client.ping(1)
+                client.avg([0])  # orders the oneway
+            finally:
+                transport.close()
+        snapshot = stats.snapshot()
+        assert snapshot["avg"]["calls"] == 6
+        assert snapshot["reverse"]["calls"] == 1
+        assert snapshot["ping"]["calls"] == 1
+        assert stats.total_errors == 0
+        assert stats.total_calls == 8
+        assert snapshot["avg"]["p50_s"] > 0
+        table = stats.format_table()
+        assert "avg" in table and "p95" in table
+
+    def test_operation_names_resolved_from_module(self, onc_module):
+        names = operation_names(onc_module)
+        assert "avg" in names.values()
+        assert "ping" in names.values()
+
+
+class TestOptionPlumbing:
+    def test_call_options_but_derives(self):
+        base = CallOptions(deadline=1.0)
+        derived = base.but(idempotent=True)
+        assert derived.deadline == 1.0
+        assert derived.idempotent is True
+        assert base.idempotent is False
+
+    def test_retry_policy_backoff_is_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=10.0, max_delay=0.5
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.5)
+        assert policy.delay(5) == pytest.approx(0.5)
+
+    def test_serve_options_defaults(self):
+        options = ServeOptions(host="127.0.0.1", port=0)
+        assert options.max_concurrency == 64
+        assert options.dispatch_mode == "thread"
+        assert options.aio is False
+
+    def test_transport_options_view_shares_pool(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).aio_server()
+        with server:
+            transport = AioClientTransport(*server.address)
+            try:
+                fast = transport.options(deadline=5.0, idempotent=True)
+                client = onc_module.Test_MailClient(fast)
+                assert client.avg([2, 6]) == 4.0
+                assert transport.pool.open_connections == 1
+            finally:
+                transport.close()

@@ -163,3 +163,141 @@ class TestList:
         assert "corba" in out
         assert "oncrpc-xdr" in out
         assert "ilu" in out
+
+
+SERVE_IDL = """
+interface Calc {
+  double avg(in sequence<long> xs);
+  oneway void ping(in long x);
+};
+"""
+
+SERVE_IMPL = """
+class CalcImpl:
+    def __init__(self):
+        self.last_ping = None
+
+    def avg(self, xs):
+        return sum(xs) / len(xs)
+
+    def ping(self, x):
+        self.last_ping = x
+"""
+
+
+def _free_port():
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _serve_and_call(tmp_path, monkeypatch, extra_args):
+    """Run `flick serve` on a thread, make one stub call against it."""
+    import socket
+    import threading
+    import time
+
+    from repro import Flick
+    from repro.runtime import TcpClientTransport
+
+    source = write(tmp_path, "calc.idl", SERVE_IDL)
+    write(tmp_path, "calc_impl.py", SERVE_IMPL)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    port = _free_port()
+    rc = {}
+
+    def run():
+        rc["value"] = main(
+            ["serve", source, "--impl", "calc_impl:CalcImpl",
+             "--backend", "oncrpc-xdr", "--port", str(port),
+             "--duration", "4"] + extra_args
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    # Poll until the server is accepting.
+    deadline = time.time() + 10
+    while time.time() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1).close()
+            break
+        except OSError:
+            time.sleep(0.05)
+    module = Flick(
+        frontend="corba", backend="oncrpc-xdr"
+    ).compile(SERVE_IDL).load_module()
+    transport = TcpClientTransport("127.0.0.1", port)
+    try:
+        client = module.CalcClient(transport)
+        assert client.avg([4, 6, 8]) == 6.0
+    finally:
+        transport.close()
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+    return rc["value"]
+
+
+class TestServe:
+    def test_serve_blocking(self, tmp_path, monkeypatch, capsys):
+        assert _serve_and_call(tmp_path, monkeypatch, []) == 0
+        out = capsys.readouterr().out
+        assert "serving Calc" in out
+        assert "thread-per-connection" in out
+
+    def test_serve_aio_with_stats(self, tmp_path, monkeypatch, capsys):
+        assert _serve_and_call(
+            tmp_path, monkeypatch, ["--aio", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "asyncio runtime" in out
+        assert "avg" in out          # the stats table names the op
+        assert "p95" in out
+
+    def test_stats_without_aio_rejected(self, tmp_path, monkeypatch,
+                                        capsys):
+        source = write(tmp_path, "calc.idl", SERVE_IDL)
+        write(tmp_path, "calc_impl.py", SERVE_IMPL)
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["serve", source, "--impl", "calc_impl:CalcImpl", "--stats"]
+        ) == 1
+        assert "--stats requires --aio" in capsys.readouterr().err
+
+    def test_bad_impl_spec_rejected(self, tmp_path, capsys):
+        source = write(tmp_path, "calc.idl", SERVE_IDL)
+        assert main(["serve", source, "--impl", "no-colon"]) == 1
+        assert "module:Class" in capsys.readouterr().err
+
+    def test_missing_impl_module_rejected(self, tmp_path, monkeypatch,
+                                          capsys):
+        source = write(tmp_path, "calc.idl", SERVE_IDL)
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["serve", source, "--impl", "nonexistent_module:Impl"]
+        ) == 1
+        assert "cannot import servant module" in capsys.readouterr().err
+
+    def test_mig_rejected(self, tmp_path, capsys):
+        source = write(tmp_path, "arith.defs", MIG)
+        assert main(["serve", source, "--impl", "m:C"]) == 1
+        assert "kernel IPC" in capsys.readouterr().err
+
+    def test_unservable_backend_rejected(self, tmp_path, capsys):
+        source = write(tmp_path, "calc.idl", SERVE_IDL)
+        assert main(
+            ["serve", source, "--impl", "m:C", "--backend", "fluke"]
+        ) == 1
+        assert "serve supports" in capsys.readouterr().err
+
+    def test_multiple_interfaces_need_choice(self, tmp_path, capsys):
+        source = write(
+            tmp_path, "two.idl",
+            "interface A { void f(); };\ninterface B { void g(); };\n",
+        )
+        assert main(["serve", source, "--impl", "m:C"]) == 1
+        assert "--interface" in capsys.readouterr().err

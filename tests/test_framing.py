@@ -1,0 +1,158 @@
+"""Property tests for the RFC 1831 record-marking codec.
+
+The decoder must reassemble any payload regardless of how the *sender*
+fragmented it (fragment sizes are the sender's choice) and of how the
+*network* chunked the byte stream (TCP gives no boundary guarantees) —
+and it must refuse malformed or abusive framing with a clear
+TransportError instead of hanging or buffering without bound.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.runtime.framing import (
+    HEADER_SIZE,
+    LAST_FRAGMENT,
+    MAX_FRAGMENTS_PER_RECORD,
+    RecordDecoder,
+    encode_record,
+)
+
+
+def chunked(data, cuts):
+    """Split *data* at pseudo-random points derived from *cuts*."""
+    chunks = []
+    position = 0
+    for cut in cuts:
+        if position >= len(data):
+            break
+        step = 1 + cut % 7
+        chunks.append(data[position:position + step])
+        position += step
+    chunks.append(data[position:])
+    return chunks
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        payload=st.binary(max_size=300),
+        max_fragment=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=64)
+        ),
+        cuts=st.lists(
+            st.integers(min_value=0, max_value=6), max_size=80
+        ),
+    )
+    def test_any_fragmentation_any_chunking(
+        self, payload, max_fragment, cuts
+    ):
+        """Any payload, any sender fragment split, any network chunking:
+        the decoder yields exactly the original payload."""
+        wire = encode_record(payload, max_fragment=max_fragment)
+        decoder = RecordDecoder()
+        records = []
+        for chunk in chunked(wire, cuts):
+            records.extend(decoder.feed(chunk))
+        assert records == [payload]
+        assert decoder.at_record_boundary()
+        assert decoder.pending_bytes == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=60), max_size=5),
+        max_fragment=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=16)
+        ),
+        cuts=st.lists(
+            st.integers(min_value=0, max_value=6), max_size=120
+        ),
+    )
+    def test_records_stay_ordered(self, payloads, max_fragment, cuts):
+        """Back-to-back records survive arbitrary chunking in order."""
+        wire = b"".join(
+            encode_record(p, max_fragment=max_fragment) for p in payloads
+        )
+        decoder = RecordDecoder()
+        records = []
+        for chunk in chunked(wire, cuts):
+            records.extend(decoder.feed(chunk))
+        assert records == payloads
+        assert decoder.at_record_boundary()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        payload=st.binary(min_size=1, max_size=200),
+        max_fragment=st.integers(min_value=1, max_value=50),
+    )
+    def test_encode_fragment_structure(self, payload, max_fragment):
+        """encode_record's fragment split is wire-legal: every fragment
+        fits the limit, only the last carries the high bit, and the
+        fragment bodies concatenate to the payload."""
+        wire = encode_record(payload, max_fragment=max_fragment)
+        bodies = []
+        position = 0
+        last_flags = []
+        while position < len(wire):
+            (word,) = struct.unpack_from(">I", wire, position)
+            length = word & ~LAST_FRAGMENT
+            assert 0 < length <= max_fragment
+            bodies.append(
+                wire[position + HEADER_SIZE:position + HEADER_SIZE + length]
+            )
+            last_flags.append(bool(word & LAST_FRAGMENT))
+            position += HEADER_SIZE + length
+        assert b"".join(bodies) == payload
+        assert last_flags[-1] is True
+        assert not any(last_flags[:-1])
+
+    def test_empty_record(self):
+        assert RecordDecoder().feed(encode_record(b"")) == [b""]
+
+
+class TestMalformedHeaders:
+    def test_oversized_length_rejected(self):
+        decoder = RecordDecoder(max_record_size=1024)
+        header = struct.pack(">I", LAST_FRAGMENT | 4096)
+        with pytest.raises(TransportError, match="exceeds the 1024-byte"):
+            decoder.feed(header)
+
+    def test_oversized_across_fragments_rejected(self):
+        """The limit applies to the reassembled record, not per fragment."""
+        decoder = RecordDecoder(max_record_size=100)
+        first = struct.pack(">I", 80) + b"x" * 80  # non-final
+        assert decoder.feed(first) == []
+        second = struct.pack(">I", LAST_FRAGMENT | 80)
+        with pytest.raises(TransportError, match="exceeds the 100-byte"):
+            decoder.feed(second)
+
+    def test_fragment_flood_rejected(self):
+        """A peer trickling non-final fragments cannot pin the
+        connection forever: the fragment-count cap trips."""
+        decoder = RecordDecoder()
+        flood = struct.pack(">I", 1) + b"a"
+        with pytest.raises(TransportError, match="fragments"):
+            decoder.feed(flood * (MAX_FRAGMENTS_PER_RECORD + 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=100))
+    def test_truncated_input_yields_nothing(self, payload):
+        """A truncated record never comes back as data — the decoder
+        reports a dirty boundary instead (the transports turn EOF here
+        into a descriptive TransportError)."""
+        wire = encode_record(payload)
+        decoder = RecordDecoder()
+        assert decoder.feed(wire[:-1]) == []
+        assert not decoder.at_record_boundary()
+        assert decoder.pending_bytes > 0
+
+    def test_garbage_header_hits_size_limit(self):
+        """Random high-bit-clear garbage parses as an absurd length and
+        trips the size guard rather than silently buffering gigabytes."""
+        decoder = RecordDecoder()
+        with pytest.raises(TransportError):
+            decoder.feed(b"\x7f\xff\xff\xff")

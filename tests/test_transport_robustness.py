@@ -3,11 +3,13 @@
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
-from repro.runtime import StubServer, TcpClientTransport
-from repro.runtime.socket_transport import _recv_record
+from repro.errors import TransportError
+from repro.runtime import StubServer, TcpClientTransport, UdpClientTransport
+from repro.runtime.socket_transport import MAX_UDP_SIZE, _recv_record
 
 from tests.conftest import MailImpl, compile_mail
 
@@ -117,3 +119,130 @@ class TestConcurrency:
             finally:
                 big.close()
                 small.close()
+
+
+def _misbehaving_server(reply_bytes):
+    """A one-shot raw server: reads a request, answers *reply_bytes*,
+    then hangs up.  Returns (listener, thread)."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def run():
+        connection, _peer = listener.accept()
+        try:
+            connection.recv(65536)
+            if reply_bytes:
+                connection.sendall(reply_bytes)
+        finally:
+            connection.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return listener, thread
+
+
+class TestShortReads:
+    """Truncated peers produce descriptive TransportErrors, not raw
+    struct.errors or hangs."""
+
+    def _call_against(self, onc_module, reply_bytes):
+        from repro.encoding import MarshalBuffer
+
+        listener, thread = _misbehaving_server(reply_bytes)
+        try:
+            transport = TcpClientTransport(*listener.getsockname())
+            try:
+                request = MarshalBuffer()
+                onc_module._m_req_avg(request, 1, [1])
+                transport.call(request.getvalue())
+            finally:
+                transport.close()
+        finally:
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_eof_before_reply(self, onc_module):
+        with pytest.raises(TransportError, match="mid-record header"):
+            self._call_against(onc_module, b"")
+
+    def test_truncated_record_header(self, onc_module):
+        with pytest.raises(
+            TransportError, match="mid-record header: got 2 of 4"
+        ):
+            self._call_against(onc_module, b"\x80\x00")
+
+    def test_truncated_record_body(self, onc_module):
+        framed = struct.pack(">I", 0x80000000 | 100) + b"x" * 7
+        with pytest.raises(
+            TransportError, match="mid-record body: got 7 of 100"
+        ):
+            self._call_against(onc_module, framed)
+
+    def test_oversized_record_header(self, onc_module):
+        huge = struct.pack(">I", 0x7FFFFFFF)
+        with pytest.raises(TransportError, match="exceeds the"):
+            self._call_against(onc_module, huge)
+
+
+class TestUdpLimits:
+    def test_oversized_datagram_send_rejected(self):
+        transport = UdpClientTransport("127.0.0.1", 9)
+        try:
+            with pytest.raises(
+                TransportError, match="UDP datagram limit"
+            ):
+                transport.send(b"y" * (MAX_UDP_SIZE + 1))
+        finally:
+            transport.close()
+
+
+class TestGracefulShutdown:
+    """stop() closes the listener, unblocks workers, and joins every
+    thread — servers do not leak threads across start/stop cycles."""
+
+    def test_tcp_stop_joins_all_threads(self, onc_module):
+        baseline = threading.active_count()
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        server.start()
+        transports = [
+            TcpClientTransport(*server.address) for _ in range(4)
+        ]
+        try:
+            for index, transport in enumerate(transports):
+                client = onc_module.Test_MailClient(transport)
+                assert client.avg([index]) == float(index)
+            # Workers are now blocked in recv() on idle connections.
+            server.stop(timeout=5.0)
+        finally:
+            for transport in transports:
+                transport.close()
+        deadline = time.time() + 2
+        while threading.active_count() > baseline and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= baseline
+
+    def test_tcp_stop_refuses_new_connections(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        server.start()
+        address = server.address
+        server.stop(timeout=5.0)
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=1.0)
+
+    def test_udp_stop_joins_thread(self, onc_module):
+        baseline = threading.active_count()
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).udp_server()
+        server.start()
+        server.stop(timeout=5.0)
+        assert threading.active_count() <= baseline
+
+    def test_stop_twice_is_safe(self, onc_module):
+        impl = MailImpl(onc_module)
+        server = StubServer(onc_module, impl).tcp_server()
+        server.start()
+        server.stop()
+        server.stop()
