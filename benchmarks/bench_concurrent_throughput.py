@@ -35,7 +35,7 @@ import time
 
 import pytest
 
-from benchmarks.harness import compiled, fmt, print_table
+from benchmarks.harness import compiled, fmt, print_table, save_json
 from repro.encoding import MarshalBuffer
 from repro.runtime import StubServer
 from repro.runtime.aio import ConnectionPool
@@ -150,6 +150,14 @@ class TestConcurrentThroughput:
             _rows(rates),
             save_as="concurrent_throughput_pooled",
         )
+        save_json("concurrent", {
+            "pool_size": POOL_SIZE,
+            "backend_wait_s": BACKEND_WAIT,
+            "window_s": WINDOW,
+            "calls_per_s": {
+                "%s_%d" % key: rate for key, rate in rates.items()
+            },
+        })
         # Below the connection budget, the architectures are equivalent:
         # both are latency-bound with `clients` requests in flight.
         assert rates[("aio", 1)] > 0.5 * rates[("blocking", 1)]

@@ -272,3 +272,27 @@ def fmt(value):
             return "%.1f" % value
         return "%.2f" % value
     return str(value)
+
+
+def save_json(stem, payload):
+    """Write *payload* to ``results/BENCH_<stem>.json`` (machine-readable
+    companion to :func:`print_table`; CI uploads these as artifacts).
+
+    Returns the path written, or None when the directory is unwritable
+    (results files are a convenience, never a failure).
+    """
+    import json
+    import os
+
+    target_dir = RESULTS_DIR
+    if target_dir is None:
+        target_dir = os.path.join(os.path.dirname(__file__), "results")
+    path = os.path.join(target_dir, "BENCH_%s.json" % stem)
+    try:
+        os.makedirs(target_dir, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        return None
+    return path

@@ -81,8 +81,8 @@ class OncXdrBackEnd(OptimizingBackEnd):
 
     def emit_dispatch_prelude(self, w, presc):
         program, version = interface_program(presc)
-        w.line("(_xid, _mt, _rv, _prog, _vers, _key) = "
-               "_unpack_from('>IIIIII', d, 0)")
+        w.line("(_xid, _mt, _rv, _prog, _vers, _key, _cf, _cl) = "
+               "_unpack_from('>IIIIIIII', d, 0)")
         w.line("if _mt != %d or _rv != %d:" % (CALL, RPC_VERSION))
         w.indent()
         w.line("raise DispatchError('not an ONC RPC call message')")
@@ -91,7 +91,14 @@ class OncXdrBackEnd(OptimizingBackEnd):
         w.indent()
         w.line("raise DispatchError('program or version mismatch')")
         w.dedent()
-        w.line("o = 40")
+        # Skip credential and verifier by their length fields (RFC 1831
+        # opaque_auth).  A null credential leaves o = 40, the static
+        # offset of the original template; an auth-opaque credential
+        # (e.g. a propagated trace context) shifts the body by a
+        # multiple of 4, which XDR's own padding rules already require.
+        w.line("o = 32 + _cl + (-_cl % 4)")
+        w.line("_vl = _unpack_from('>I', d, o + 4)[0]")
+        w.line("o += 8 + _vl + (-_vl % 4)")
         w.line("_ctx = _xid")
 
     def emit_check_reply(self, w, presc):

@@ -11,13 +11,21 @@ is conjoined with its own presentation, is handled by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.errors import FlickError
 from repro.core.options import OptFlags
+from repro.obs import trace
 
 #: Front-end registry: name -> callable(text, name) -> AoiRoot.
 FRONTENDS = {}
+
+#: Split front ends: name -> (parse(text, name) -> spec,
+#: lower(spec, name) -> validated AoiRoot).  Lets the driver time (and
+#: trace) parsing separately from AOI lowering; front ends absent here
+#: fall back to the fused FRONTENDS entry, reported as one "parse" phase.
+FRONTEND_PHASES = {}
 
 #: Default presentation style per front end.
 DEFAULT_PRESENTATION = {
@@ -35,11 +43,22 @@ DEFAULT_BACKEND = {
 
 
 def _register_frontends():
-    from repro.corba import compile_corba_idl
-    from repro.oncrpc import compile_oncrpc_idl
+    from repro.aoi import validate
+    from repro.corba import compile_corba_idl, corba_to_aoi, \
+        parse_corba_idl
+    from repro.oncrpc import compile_oncrpc_idl, oncrpc_to_aoi, \
+        parse_oncrpc_idl
 
     FRONTENDS["corba"] = compile_corba_idl
     FRONTENDS["oncrpc"] = compile_oncrpc_idl
+    FRONTEND_PHASES["corba"] = (
+        parse_corba_idl,
+        lambda spec, name: validate(corba_to_aoi(spec, name=name)),
+    )
+    FRONTEND_PHASES["oncrpc"] = (
+        parse_oncrpc_idl,
+        lambda spec, name: validate(oncrpc_to_aoi(spec, name=name)),
+    )
 
 
 @dataclass
@@ -50,9 +69,25 @@ class CompileResult:
     interface: object
     presc: object
     stubs: object  # GeneratedStubs
+    #: Per-phase wall-clock seconds: parse, aoi, present, emit, total.
+    timings: Optional[Dict[str, float]] = None
 
     def load_module(self):
         return self.stubs.load()
+
+    def emit_summary(self):
+        """Size/shape facts about the generated stubs (for --timing)."""
+        stubs = self.stubs
+        operations = stubs.metadata.get("operations", {})
+        return {
+            "operations": len(operations),
+            "stub_bytes": len(stubs.py_source),
+            "stub_lines": stubs.py_source.count("\n"),
+            "request_chunks": sum(
+                meta.get("request_chunks", 0)
+                for meta in operations.values()
+            ),
+        }
 
 
 class Flick:
@@ -96,18 +131,47 @@ class Flick:
         return generator.generate(aoi_root, interface, side=side)
 
     def compile(self, idl_text, interface=None, name="<idl>"):
-        """Full pipeline; returns a :class:`CompileResult`."""
+        """Full pipeline; returns a :class:`CompileResult`.
+
+        The result's ``timings`` dict always carries per-phase wall-clock
+        seconds (parse, aoi, present, emit, total) — the cost of a few
+        ``perf_counter`` reads; ``flick compile --timing`` prints them.
+        """
         from repro.backend import make_backend
         from repro.pgen import make_presentation
 
-        aoi_root = self.parse(idl_text, name)
+        timings = {}
+        total_started = perf_counter()
+        phases = FRONTEND_PHASES.get(self.frontend)
+        phase_started = total_started
+        if phases is not None:
+            parse_fn, lower = phases
+            with trace.span("compile.parse"):
+                specification = parse_fn(idl_text, name)
+            timings["parse_s"] = perf_counter() - phase_started
+            phase_started = perf_counter()
+            with trace.span("compile.aoi"):
+                aoi_root = lower(specification, name)
+            timings["aoi_s"] = perf_counter() - phase_started
+        else:
+            with trace.span("compile.parse"):
+                aoi_root = self.parse(idl_text, name)
+            timings["parse_s"] = perf_counter() - phase_started
         picked = self._pick_interface(aoi_root, interface)
-        generator = make_presentation(self.presentation)
-        presc = generator.generate(aoi_root, picked, side="client")
-        backend = make_backend(self.backend, **self.backend_options)
-        stubs = backend.generate(presc, self.flags)
+        phase_started = perf_counter()
+        with trace.span("compile.present"):
+            generator = make_presentation(self.presentation)
+            presc = generator.generate(aoi_root, picked, side="client")
+        timings["present_s"] = perf_counter() - phase_started
+        phase_started = perf_counter()
+        with trace.span("compile.emit"):
+            backend = make_backend(self.backend, **self.backend_options)
+            stubs = backend.generate(presc, self.flags)
+        timings["emit_s"] = perf_counter() - phase_started
+        timings["total_s"] = perf_counter() - total_started
         return CompileResult(
-            aoi=aoi_root, interface=picked, presc=presc, stubs=stubs
+            aoi=aoi_root, interface=picked, presc=presc, stubs=stubs,
+            timings=timings,
         )
 
     def compile_all(self, idl_text, name="<idl>"):

@@ -16,6 +16,29 @@ from repro.errors import UnmarshalError
 #: Default initial capacity; Flick stubs reuse buffers, so this is paid once.
 DEFAULT_CAPACITY = 8192
 
+# Process-wide allocation counters.  Buffer reuse is the point of the
+# paper's section-3.1 optimization, so make it observable: a healthy
+# steady-state server allocates a handful of buffers and then stops.
+# Plain ints bumped without a lock — worst case under free-threading a
+# racing bump is lost, which diagnostics can tolerate.
+_allocations = 0
+_grows = 0
+_grown_bytes = 0
+
+
+def buffer_counters():
+    """Process-wide ``{"allocations", "grows", "grown_bytes"}`` counts."""
+    return {
+        "allocations": _allocations,
+        "grows": _grows,
+        "grown_bytes": _grown_bytes,
+    }
+
+
+def reset_buffer_counters():
+    global _allocations, _grows, _grown_bytes
+    _allocations = _grows = _grown_bytes = 0
+
 
 class MarshalBuffer:
     """A growable, reusable byte buffer for message encoding.
@@ -30,6 +53,8 @@ class MarshalBuffer:
     __slots__ = ("data", "length")
 
     def __init__(self, capacity=DEFAULT_CAPACITY):
+        global _allocations
+        _allocations += 1
         self.data = bytearray(capacity)
         self.length = 0
 
@@ -46,8 +71,11 @@ class MarshalBuffer:
         return offset
 
     def _grow(self, needed):
+        global _grows, _grown_bytes
         # Double (at least), so repeated reserves are amortized O(1).
         new_capacity = max(needed, 2 * len(self.data))
+        _grows += 1
+        _grown_bytes += new_capacity - len(self.data)
         self.data.extend(bytearray(new_capacity - len(self.data)))
 
     def reset(self):

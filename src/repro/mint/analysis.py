@@ -21,6 +21,7 @@ from typing import Optional
 from repro.errors import FlickError
 from repro.mint.types import (
     MintArray,
+    MintChar,
     MintConst,
     MintRegistry,
     MintSlot,
@@ -184,6 +185,13 @@ def _analyze_array(array, layout, registry, walking):
     if packed is not None:
         per_element_max = packed
         per_element_min = packed
+        if isinstance(array.element, MintChar) \
+                and element.max_size is not None:
+            # A char array packs one byte per char when presented as a
+            # string, but occupies the standalone char atom (4 bytes in
+            # XDR) when presented element-wise.  MINT cannot tell which
+            # presentation will be used, so the bounds cover both.
+            per_element_max = max(packed, element.max_size)
     else:
         per_element_max = element.max_size
         per_element_min = element.min_size
@@ -201,6 +209,10 @@ def _analyze_array(array, layout, registry, walking):
             if element.storage_class is StorageClass.FIXED
             else element.storage_class
         )
+        if storage_class is StorageClass.FIXED and min_size != max_size:
+            # The presentation-dependent char packing above: the size is
+            # no longer a single static value.
+            storage_class = StorageClass.BOUNDED
         if storage_class is StorageClass.UNBOUNDED:
             max_size = None
         return StorageInfo(storage_class, min_size, max_size)

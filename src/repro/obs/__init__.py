@@ -1,0 +1,73 @@
+"""``repro.obs`` — shared observability: tracing, metrics, propagation.
+
+Flick's thesis is that stub performance is measurable and attributable;
+this package is where the measuring lives.  Three pieces:
+
+* :mod:`repro.obs.trace` — low-overhead spans (``with obs.span("encode")``)
+  with monotonic timing, contextvar nesting, JSONL export, and opt-in
+  instrumentation of generated stub modules.  Zero cost while disabled.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  log-bucketed latency histograms with Prometheus text exposition; the
+  generalization of the aio server's original ``ServerStats``.
+* :mod:`repro.obs.propagation` — carries ``(trace id, span id)`` inside
+  the protocols' own envelopes (a GIOP ServiceContext entry, an ONC RPC
+  auth-opaque credential) so client and server spans join one trace
+  while staying byte-compatible with uninstrumented peers.
+
+Quick tour::
+
+    from repro import obs
+
+    obs.configure(obs.JsonlExporter("trace.jsonl"))   # tracing on
+    obs.instrument_stub_module(module)                # stub-level spans
+    with obs.span("warm-up", op="avg"):
+        client.avg([1, 2, 3])
+    obs.shutdown()                                    # flush + disable
+
+    registry = obs.MetricsRegistry()
+    errors = registry.counter("errors_total", "oops", ("op",))
+    errors.labels("avg").inc()
+    print(registry.render_prometheus())
+"""
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.propagation import WireTraceContext, extract, inject
+from repro.obs.trace import (
+    CollectingExporter,
+    JsonlExporter,
+    Span,
+    Tracer,
+    configure,
+    current_span,
+    enabled,
+    instrument_stub_module,
+    shutdown,
+    span,
+)
+from repro.obs.http import MetricsHttpServer
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "CollectingExporter",
+    "JsonlExporter",
+    "LatencyHistogram",
+    "MetricsHttpServer",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "WireTraceContext",
+    "configure",
+    "current_span",
+    "enabled",
+    "extract",
+    "inject",
+    "instrument_stub_module",
+    "shutdown",
+    "span",
+]

@@ -1,0 +1,141 @@
+"""A minimal asyncio HTTP endpoint exposing Prometheus metrics.
+
+``GET /metrics`` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+in text exposition format; anything else is 404.  HTTP/1.0-style:
+one request per connection, ``Connection: close``.  That is all a
+Prometheus scraper (or ``curl``) needs, and it keeps this free of any
+dependency the container does not already have.
+
+Usable from asyncio code (``await endpoint.start_async()``) or
+synchronously (``start()`` / ``stop()`` spin a daemon event-loop
+thread), mirroring :class:`~repro.runtime.aio.server.AioTcpServer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+#: Cap on request-head size; anything longer is not a scraper.
+MAX_REQUEST_BYTES = 8192
+
+
+class MetricsHttpServer:
+    """Serves ``GET /metrics`` for one registry."""
+
+    def __init__(self, registry, host="127.0.0.1", port=0):
+        self.registry = registry
+        self._host = host
+        self._port = port
+        self.address = None
+        self._server = None
+        self._loop = None
+        self._thread = None
+        self._stop_event = None
+        self._start_error = None
+
+    # -- async API ------------------------------------------------------
+
+    async def start_async(self):
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        self.address = self._server.sockets[0].getsockname()
+        return self
+
+    async def aclose(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError, OSError):
+            writer.close()
+            return
+        if len(head) > MAX_REQUEST_BYTES:
+            writer.close()
+            return
+        request_line = head.split(b"\r\n", 1)[0].split(b" ")
+        path = request_line[1] if len(request_line) >= 2 else b""
+        try:
+            if request_line[:1] == [b"GET"] and \
+                    path.split(b"?", 1)[0] == b"/metrics":
+                body = self.registry.render_prometheus().encode("utf-8")
+                status = b"200 OK"
+                content_type = b"text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"try GET /metrics\n"
+                status = b"404 Not Found"
+                content_type = b"text/plain; charset=utf-8"
+            writer.write(b"HTTP/1.0 " + status + b"\r\n"
+                         b"Content-Type: " + content_type + b"\r\n"
+                         b"Content-Length: " + str(len(body)).encode()
+                         + b"\r\n"
+                         b"Connection: close\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    # -- sync facade ----------------------------------------------------
+
+    def start(self):
+        """Serve on a background event-loop thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("metrics endpoint already started")
+        started = threading.Event()
+        self._start_error = None
+
+        def run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self._run_on_thread(started))
+            finally:
+                started.set()
+                asyncio.set_event_loop(None)
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="flick-metrics-http", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if self._start_error is not None:
+            error, self._start_error = self._start_error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    async def _run_on_thread(self, started):
+        self._stop_event = asyncio.Event()
+        try:
+            await self.start_async()
+        except Exception as error:
+            self._start_error = error
+            return
+        finally:
+            started.set()
+        await self._stop_event.wait()
+        await self.aclose()
+
+    def stop(self, timeout=5.0):
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        return False

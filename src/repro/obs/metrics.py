@@ -1,0 +1,386 @@
+"""The metrics half of ``repro.obs``: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family with
+label names fans out into one child per label-value combination (the
+Prometheus data model).  Children are plain objects with ``__slots__``
+and one lock per family, so the hot path — ``counter.inc()``,
+``histogram.observe()`` — is an attribute bump under a lock the GIL makes
+cheap.  The registry renders the whole collection in Prometheus text
+exposition format for the ``--metrics-port`` endpoint and as a plain dict
+for tests and tables.
+
+:class:`LatencyHistogram` is the log-bucketed histogram the aio server's
+``ServerStats`` introduced; it lives here now so the blocking servers and
+the client runtime share it.  Its :meth:`~LatencyHistogram.percentile`
+interpolates linearly *within* the winning bucket — clamped to the
+observed min/max — instead of reporting the bucket's upper bound, and the
+overflow bucket (beyond the last bound) is interpolated against the
+observed maximum.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Histogram bucket upper bounds, seconds (log-spaced, 1-3-10 ladder).
+BUCKET_BOUNDS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with interpolated percentile estimates."""
+
+    __slots__ = ("bounds", "counts", "total", "sum_seconds", "max_seconds",
+                 "min_seconds")
+
+    def __init__(self, bounds=BUCKET_BOUNDS):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+        self.min_seconds = None
+
+    def observe(self, seconds):
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if self.min_seconds is None or seconds < self.min_seconds:
+            self.min_seconds = seconds
+
+    def percentile(self, q):
+        """Linear-interpolated *q*-th percentile estimate.
+
+        The rank is located in its bucket; the estimate interpolates
+        between the bucket's bounds, with both ends clamped to the
+        observed minimum and maximum so tightly clustered samples (all
+        1 ms, say) report ~1 ms rather than the bucket's upper bound.
+        The overflow bucket has no upper bound; the observed maximum
+        stands in for it.
+        """
+        if not self.total:
+            return 0.0
+        rank = max(1, int(self.total * q / 100.0 + 0.5))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            if seen + count >= rank:
+                if index < len(self.bounds):
+                    lower = self.bounds[index - 1] if index else 0.0
+                    upper = self.bounds[index]
+                else:  # overflow bucket: beyond the last bound
+                    lower = self.bounds[-1]
+                    upper = self.max_seconds
+                if self.min_seconds is not None:
+                    lower = max(lower, self.min_seconds)
+                upper = min(upper, self.max_seconds) if self.max_seconds \
+                    else upper
+                if upper < lower:
+                    upper = lower
+                fraction = (rank - seen) / count
+                return lower + fraction * (upper - lower)
+            seen += count
+        return self.max_seconds
+
+    @property
+    def mean(self):
+        return self.sum_seconds / self.total if self.total else 0.0
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock):
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (pool occupancy, in-flight work)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock):
+        self._value = 0
+        self._lock = lock
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1):
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+class Histogram:
+    """A locked :class:`LatencyHistogram` child."""
+
+    __slots__ = ("_histogram", "_lock")
+
+    def __init__(self, lock, bounds=BUCKET_BOUNDS):
+        self._histogram = LatencyHistogram(bounds)
+        self._lock = lock
+
+    def observe(self, value):
+        with self._lock:
+            self._histogram.observe(value)
+
+    def percentile(self, q):
+        with self._lock:
+            return self._histogram.percentile(q)
+
+    @property
+    def total(self):
+        return self._histogram.total
+
+    @property
+    def sum(self):
+        return self._histogram.sum_seconds
+
+    @property
+    def mean(self):
+        return self._histogram.mean
+
+    @property
+    def max(self):
+        return self._histogram.max_seconds
+
+    @property
+    def bounds(self):
+        return self._histogram.bounds
+
+    @property
+    def bucket_counts(self):
+        with self._lock:
+            return tuple(self._histogram.counts)
+
+
+class MetricFamily:
+    """One named metric with zero or more label dimensions."""
+
+    def __init__(self, name, help_text, labelnames, factory, kind):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self.kind = kind
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children = {}
+
+    def labels(self, *values, **by_name):
+        """The child for one label-value combination (created on demand)."""
+        if by_name:
+            values = values + tuple(
+                by_name[name] for name in self.labelnames[len(values):]
+            )
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                "%s takes labels %r, got %r"
+                % (self.name, self.labelnames, values)
+            )
+        key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._factory(self._lock)
+        return child
+
+    def collect(self):
+        """``(label_values, child)`` pairs, snapshot under the lock."""
+        with self._lock:
+            return list(self._children.items())
+
+    # Unlabeled convenience: the family itself acts as its only child.
+
+    def inc(self, amount=1):
+        self.labels().inc(amount)
+
+    def dec(self, amount=1):
+        self.labels().dec(amount)
+
+    def set(self, value):
+        self.labels().set(value)
+
+    def observe(self, value):
+        self.labels().observe(value)
+
+    @property
+    def value(self):
+        return self.labels().value
+
+
+class MetricsRegistry:
+    """A named collection of metric families with Prometheus exposition."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families = {}
+        self._callbacks = {}
+
+    # -- family constructors (idempotent per name) ----------------------
+
+    def _family(self, name, help_text, labelnames, factory, kind):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = MetricFamily(
+                    name, help_text, labelnames, factory, kind
+                )
+            elif family.kind != kind or \
+                    family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    "metric %r already registered as a %s with labels %r"
+                    % (name, family.kind, family.labelnames)
+                )
+            return family
+
+    def counter(self, name, help_text="", labelnames=()):
+        return self._family(name, help_text, labelnames, Counter, "counter")
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return self._family(name, help_text, labelnames, Gauge, "gauge")
+
+    def histogram(self, name, help_text="", labelnames=(),
+                  bounds=BUCKET_BOUNDS):
+        def factory(lock):
+            return Histogram(lock, bounds)
+
+        return self._family(name, help_text, labelnames, factory,
+                            "histogram")
+
+    def gauge_callback(self, name, help_text, callback):
+        """Register a zero-argument callable sampled at render time.
+
+        Used for values owned elsewhere (e.g. the marshal-buffer
+        allocation counters in :mod:`repro.encoding.buffer`).
+        """
+        with self._lock:
+            self._callbacks[name] = (help_text, callback)
+
+    def families(self):
+        with self._lock:
+            return list(self._families.values())
+
+    # -- views ----------------------------------------------------------
+
+    def snapshot(self):
+        """``{family: {label-values tuple: value-or-histogram-dict}}``."""
+        result = {}
+        for family in self.families():
+            data = {}
+            for key, child in family.collect():
+                if family.kind == "histogram":
+                    data[key] = {
+                        "count": child.total,
+                        "sum": child.sum,
+                        "mean": child.mean,
+                        "p50": child.percentile(50),
+                        "p95": child.percentile(95),
+                        "p99": child.percentile(99),
+                        "max": child.max,
+                    }
+                else:
+                    data[key] = child.value
+            result[family.name] = data
+        with self._lock:
+            callbacks = list(self._callbacks.items())
+        for name, (_help, callback) in callbacks:
+            result[name] = {(): callback()}
+        return result
+
+    def render_prometheus(self):
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        lines = []
+        for family in self.families():
+            if family.help:
+                lines.append("# HELP %s %s" % (family.name, family.help))
+            lines.append("# TYPE %s %s" % (family.name, family.kind))
+            for key, child in sorted(family.collect()):
+                labels = _label_text(family.labelnames, key)
+                if family.kind == "histogram":
+                    cumulative = 0
+                    counts = child.bucket_counts
+                    for bound, count in zip(child.bounds, counts):
+                        cumulative += count
+                        lines.append('%s_bucket%s %d' % (
+                            family.name,
+                            _label_text(
+                                family.labelnames + ("le",),
+                                key + ("%g" % bound,),
+                            ),
+                            cumulative,
+                        ))
+                    cumulative += counts[-1]
+                    lines.append('%s_bucket%s %d' % (
+                        family.name,
+                        _label_text(family.labelnames + ("le",),
+                                    key + ("+Inf",)),
+                        cumulative,
+                    ))
+                    lines.append("%s_sum%s %s"
+                                 % (family.name, labels, _fmt(child.sum)))
+                    lines.append("%s_count%s %d"
+                                 % (family.name, labels, child.total))
+                else:
+                    lines.append("%s%s %s"
+                                 % (family.name, labels, _fmt(child.value)))
+        with self._lock:
+            callbacks = list(self._callbacks.items())
+        for name, (help_text, callback) in sorted(callbacks):
+            if help_text:
+                lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s gauge" % name)
+            lines.append("%s %s" % (name, _fmt(callback())))
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _escape(value):
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _label_text(names, values):
+    if not names:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (name, _escape(value))
+        for name, value in zip(names, values)
+    )
+
+
+#: The process-default registry; runtime pieces that are not handed an
+#: explicit registry record here.
+REGISTRY = MetricsRegistry()

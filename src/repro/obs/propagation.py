@@ -1,0 +1,140 @@
+"""Trace-context propagation inside the protocols' own envelopes.
+
+A traced client and its server must share one trace id.  Rather than
+invent a side channel (which would break byte-compatibility with the
+blocking transports and foreign peers), the context rides in the slot
+each protocol already reserves for exactly this kind of metadata:
+
+* **GIOP** — a ``ServiceContext`` entry (context id ``0x464C4943``,
+  ``"FLIC"``) prepended to the Request header's service-context list.
+  GIOP receivers are required to skip unknown service contexts, and the
+  generated dispatch code walks the list dynamically, so uninstrumented
+  peers ignore the entry.
+* **ONC RPC** — an opaque credential (auth flavor ``0x464C4943``)
+  replacing the null credential in the call header.  RFC 1831 receivers
+  parse the credential's length field regardless of flavor; the
+  generated dispatch skips credential and verifier dynamically.
+
+Both carry the same 24-byte body: the 16-byte trace id followed by the
+8-byte span id of the client span that made the request.  24 is a
+multiple of 8, so injection shifts the message body by a multiple of the
+largest wire alignment — statically computed padding in generated
+unmarshal code (which is relative to the running offset) stays valid.
+
+When tracing is disabled nothing is injected and the wire bytes are
+byte-identical to an uninstrumented build.  Injection is skipped for
+messages that are not GIOP Requests / ONC calls or that already carry a
+non-null credential; extraction returns ``None`` when no context is
+present.  Replies are never touched.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+#: Shared marker, "FLIC": the GIOP service-context id and the ONC RPC
+#: auth flavor carrying a trace context.
+TRACE_CONTEXT_ID = 0x464C4943
+TRACE_AUTH_FLAVOR = 0x464C4943
+
+#: 16-byte trace id + 8-byte span id.
+_BODY_SIZE = 24
+
+_GIOP_REQUEST = 0
+_ONC_CALL = 0
+_ONC_RPC_VERSION = 2
+
+
+@dataclass(frozen=True)
+class WireTraceContext:
+    """A trace context as carried on the wire (hex-string ids).
+
+    Shaped like a span (``trace_id``/``span_id``) so it can be passed
+    directly as a span's parent.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def _pack_body(trace_id, span_id):
+    body = bytes.fromhex(trace_id) + bytes.fromhex(span_id)
+    if len(body) != _BODY_SIZE:
+        raise ValueError(
+            "trace context must be 16+8 bytes of hex, got %d" % len(body)
+        )
+    return body
+
+
+def _unpack_body(body):
+    return WireTraceContext(bytes(body[:16]).hex(), bytes(body[16:24]).hex())
+
+
+def inject(payload, span_context):
+    """Return *payload* with *span_context* woven into its header.
+
+    *span_context* is anything with ``trace_id``/``span_id`` hex-string
+    attributes (a live span, a :class:`WireTraceContext`).  Messages
+    that cannot carry a context are returned unchanged.
+    """
+    data = bytes(payload)
+    body = _pack_body(span_context.trace_id, span_context.span_id)
+    if len(data) >= 16 and data[:4] == b"GIOP":
+        if data[7] != _GIOP_REQUEST:
+            return data
+        endian = "<" if data[6] else ">"
+        count = struct.unpack_from(endian + "I", data, 12)[0]
+        entry = struct.pack(endian + "II", TRACE_CONTEXT_ID, _BODY_SIZE) \
+            + body
+        out = bytearray(data)
+        out[12:16] = struct.pack(endian + "I", count + 1)
+        out[16:16] = entry
+        out[8:12] = struct.pack(endian + "I", len(out) - 12)
+        return bytes(out)
+    if len(data) >= 40:
+        message_type, rpc_version = struct.unpack_from(">II", data, 4)
+        if message_type != _ONC_CALL or rpc_version != _ONC_RPC_VERSION:
+            return data
+        flavor, length = struct.unpack_from(">II", data, 24)
+        if flavor or length:
+            return data  # a real credential is already there; leave it
+        return b"".join((
+            data[:24],
+            struct.pack(">II", TRACE_AUTH_FLAVOR, _BODY_SIZE),
+            body,
+            data[32:],
+        ))
+    return data
+
+
+def extract(payload) -> Optional[WireTraceContext]:
+    """The trace context carried by *payload*, or None."""
+    data = bytes(payload)
+    if len(data) >= 16 and data[:4] == b"GIOP":
+        if data[7] != _GIOP_REQUEST:
+            return None
+        endian = "<" if data[6] else ">"
+        count = struct.unpack_from(endian + "I", data, 12)[0]
+        offset = 16
+        for _ in range(count):
+            if offset + 8 > len(data):
+                return None
+            context_id, length = struct.unpack_from(
+                endian + "II", data, offset
+            )
+            if context_id == TRACE_CONTEXT_ID and length == _BODY_SIZE \
+                    and offset + 8 + _BODY_SIZE <= len(data):
+                return _unpack_body(data[offset + 8:offset + 8 + _BODY_SIZE])
+            offset += 8 + length
+            offset += -offset % 4
+        return None
+    if len(data) >= 32 + _BODY_SIZE:
+        message_type, rpc_version = struct.unpack_from(">II", data, 4)
+        if message_type != _ONC_CALL or rpc_version != _ONC_RPC_VERSION:
+            return None
+        flavor, length = struct.unpack_from(">II", data, 24)
+        if flavor == TRACE_AUTH_FLAVOR and length == _BODY_SIZE:
+            return _unpack_body(data[32:32 + _BODY_SIZE])
+    return None

@@ -28,13 +28,15 @@ from repro.runtime.aio.client import (
 from repro.runtime.aio.correlation import MessageInfo, probe, rewrite_id
 from repro.runtime.aio.options import CallOptions, RetryPolicy, ServeOptions
 from repro.runtime.aio.server import AioTcpServer
-from repro.runtime.aio.stats import LatencyHistogram, ServerStats
+from repro.runtime.aio.stats import ClientStats, LatencyHistogram, \
+    ServerStats
 
 __all__ = [
     "AioClientTransport",
     "AioConnection",
     "AioTcpServer",
     "CallOptions",
+    "ClientStats",
     "ConnectionPool",
     "LatencyHistogram",
     "MessageInfo",

@@ -30,6 +30,7 @@ import asyncio
 import threading
 
 from repro.errors import DeadlineError, TransportError
+from repro.obs import propagation, trace
 from repro.runtime.framing import MAX_RECORD_SIZE, RecordDecoder, \
     encode_record
 from repro.runtime.transport import Transport
@@ -42,7 +43,8 @@ READ_CHUNK = 65536
 class AioConnection:
     """One framed TCP connection multiplexing many in-flight calls."""
 
-    def __init__(self, reader, writer, max_record_size=MAX_RECORD_SIZE):
+    def __init__(self, reader, writer, max_record_size=MAX_RECORD_SIZE,
+                 stats=None):
         self._reader = reader
         self._writer = writer
         self._decoder = RecordDecoder(max_record_size)
@@ -51,6 +53,7 @@ class AioConnection:
         self._next_id = 0
         self._closed = False
         self._close_reason = None
+        self._stats = stats
         self.orphan_replies = 0
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
@@ -58,7 +61,7 @@ class AioConnection:
 
     @classmethod
     async def open(cls, host, port, *, connect_timeout=10.0,
-                   max_record_size=MAX_RECORD_SIZE):
+                   max_record_size=MAX_RECORD_SIZE, stats=None):
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port), connect_timeout
@@ -76,7 +79,7 @@ class AioConnection:
             import socket as _socket
 
             sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
-        return cls(reader, writer, max_record_size)
+        return cls(reader, writer, max_record_size, stats=stats)
 
     # ------------------------------------------------------------------
 
@@ -118,17 +121,22 @@ class AioConnection:
         try:
             info = probe(record)
         except TransportError:
-            self.orphan_replies += 1
+            self._count_orphan()
             return
         entry = self._pending.pop(info.correlation_id, None)
         if entry is None:
             # Deadline expired or the call was cancelled; drop the late
             # reply (counted so tests and diagnostics can see it).
-            self.orphan_replies += 1
+            self._count_orphan()
             return
         future, original_id = entry
         if not future.done():
             future.set_result(rewrite_id(record, info, original_id))
+
+    def _count_orphan(self):
+        self.orphan_replies += 1
+        if self._stats is not None:
+            self._stats.orphan_replies.inc()
 
     def _fail_pending(self, reason):
         self._closed = True
@@ -150,23 +158,32 @@ class AioConnection:
             raise TransportError(
                 self._close_reason or "connection is closed"
             )
+        tracer = trace.active()
+        if tracer is not None:
+            parent = trace.current_span()
+            if parent is not None:
+                payload = propagation.inject(payload, parent)
         info = probe(payload)
         wire_id = self._allocate_id()
         data = rewrite_id(payload, info, wire_id)
         future = asyncio.get_running_loop().create_future()
         self._pending[wire_id] = (future, info.correlation_id)
         try:
-            async with self._write_lock:
-                self._writer.write(encode_record(data))
-                await self._writer.drain()
-            if deadline is None:
-                return await future
-            try:
-                return await asyncio.wait_for(future, deadline)
-            except asyncio.TimeoutError:
-                raise DeadlineError(
-                    "call exceeded its %.3fs deadline" % deadline
-                ) from None
+            with trace.span("send", bytes=len(data)):
+                async with self._write_lock:
+                    self._writer.write(encode_record(data))
+                    await self._writer.drain()
+            with trace.span("await.reply"):
+                if deadline is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(future, deadline)
+                except asyncio.TimeoutError:
+                    if self._stats is not None:
+                        self._stats.deadline_expiries.inc()
+                    raise DeadlineError(
+                        "call exceeded its %.3fs deadline" % deadline
+                    ) from None
         finally:
             self._pending.pop(wire_id, None)
 
@@ -176,9 +193,14 @@ class AioConnection:
             raise TransportError(
                 self._close_reason or "connection is closed"
             )
-        async with self._write_lock:
-            self._writer.write(encode_record(bytes(payload)))
-            await self._writer.drain()
+        if trace.active() is not None:
+            parent = trace.current_span()
+            if parent is not None:
+                payload = propagation.inject(payload, parent)
+        with trace.span("send", bytes=len(payload)):
+            async with self._write_lock:
+                self._writer.write(encode_record(bytes(payload)))
+                await self._writer.drain()
 
     async def aclose(self):
         self._reader_task.cancel()
@@ -199,7 +221,7 @@ class ConnectionPool:
 
     def __init__(self, host, port, *, size=4, connect_timeout=10.0,
                  options=None, connector=None,
-                 max_record_size=MAX_RECORD_SIZE):
+                 max_record_size=MAX_RECORD_SIZE, stats=None):
         self.host = host
         self.port = port
         self.size = max(1, size)
@@ -210,12 +232,21 @@ class ConnectionPool:
         self._connections = []
         self._connect_lock = asyncio.Lock()
         self._closed = False
+        self.stats = stats
 
     async def _default_connector(self):
         return await AioConnection.open(
             self.host, self.port, connect_timeout=self.connect_timeout,
-            max_record_size=self._max_record_size,
+            max_record_size=self._max_record_size, stats=self.stats,
         )
+
+    def _update_gauges(self):
+        stats = self.stats
+        if stats is None:
+            return
+        live = [c for c in self._connections if not c.closed]
+        stats.open_connections.set(len(live))
+        stats.in_flight.set(sum(c.in_flight for c in live))
 
     async def _get_connection(self):
         if self._closed:
@@ -250,17 +281,36 @@ class ConnectionPool:
             return 1
         return max(1, options.retry.max_attempts)
 
-    async def acall(self, payload, options=None):
-        """Two-way call with the pool's (or the given) options applied."""
+    async def acall(self, payload, options=None, parent=None):
+        """Two-way call with the pool's (or the given) options applied.
+
+        *parent* optionally names the span this call nests under — the
+        sync facade captures it on the caller's thread, where the proxy
+        wrapper's ``call`` span lives, and hands it across the loop
+        boundary explicitly (contextvars do not follow
+        ``run_coroutine_threadsafe``).
+        """
+        tracer = trace.active()
+        if tracer is None:
+            return await self._acall_attempts(payload, options)
+        with tracer.span("transport.call", parent=parent):
+            return await self._acall_attempts(payload, options)
+
+    async def _acall_attempts(self, payload, options):
         options = options or self.options
         attempts = self._attempts(options)
+        stats = self.stats
         last_error = None
         for attempt in range(attempts):
             if attempt:
+                if stats is not None:
+                    stats.retries.inc()
                 await asyncio.sleep(options.retry.delay(attempt - 1))
             wrote_request = False
             try:
-                connection = await self._get_connection()
+                with trace.span("pool.acquire"):
+                    connection = await self._get_connection()
+                self._update_gauges()
                 wrote_request = True  # past here the server may execute it
                 return await connection.acall(
                     payload, deadline=options.deadline
@@ -269,6 +319,8 @@ class ConnectionPool:
                 raise  # the time budget is spent; never retry
             except TransportError as error:
                 last_error = error
+                if stats is not None:
+                    stats.transport_errors.inc()
                 # Connect failures are always retryable (nothing was
                 # sent); post-send failures only for idempotent calls.
                 if wrote_request and not options.idempotent:
@@ -350,19 +402,24 @@ class AioClientTransport(Transport):
     """
 
     def __init__(self, host, port, *, pool_size=1, options=None,
-                 connect_timeout=10.0, loop_thread=None):
+                 connect_timeout=10.0, loop_thread=None, stats=None):
         self._runner = loop_thread or _EventLoopThread.shared()
         self._options = options or CallOptions()
+        self.stats = stats
         self._pool = ConnectionPool(
             host, port, size=pool_size, connect_timeout=connect_timeout,
-            options=self._options,
+            options=self._options, stats=stats,
         )
 
     # The Transport interface --------------------------------------------
 
     def call(self, request):
+        # Capture the caller-thread span (the proxy wrapper's "call")
+        # here; the coroutine runs on the loop thread where the caller's
+        # contextvars are invisible.
         return self._runner.run(
-            self._pool.acall(bytes(request), self._options)
+            self._pool.acall(bytes(request), self._options,
+                             parent=trace.current_span())
         )
 
     def send(self, request):
@@ -397,7 +454,8 @@ class _OptionedTransport(Transport):
 
     def call(self, request):
         return self._base._runner.run(
-            self._base._pool.acall(bytes(request), self._options)
+            self._base._pool.acall(bytes(request), self._options,
+                                   parent=trace.current_span())
         )
 
     def send(self, request):

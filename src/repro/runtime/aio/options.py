@@ -69,6 +69,10 @@ class ServeOptions:
             non-blocking, CPU-light servants).
         stats: collect and report per-operation metrics.
         drain_timeout: seconds granted to in-flight requests at shutdown.
+        trace_path: write finished spans to this JSONL file (enables
+            tracing for the process).
+        metrics_port: serve Prometheus metrics on this port (0 picks a
+            free port; None disables the endpoint).
     """
 
     host: str = "127.0.0.1"
@@ -78,3 +82,5 @@ class ServeOptions:
     dispatch_mode: str = "thread"
     stats: bool = False
     drain_timeout: float = 5.0
+    trace_path: Optional[str] = None
+    metrics_port: Optional[int] = None

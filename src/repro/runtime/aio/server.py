@@ -26,12 +26,14 @@ mirroring the blocking servers' context-manager idiom.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.encoding.buffer import MarshalBuffer
 from repro.errors import RuntimeFlickError, TransportError
+from repro.obs import propagation, trace
 from repro.runtime.framing import MAX_RECORD_SIZE, RecordDecoder, \
     encode_record
 from repro.runtime.aio.correlation import probe
@@ -213,25 +215,54 @@ class AioTcpServer:
             writer.close()
 
     async def _serve_request(self, connection, record):
+        tracer = trace.active()
+        if tracer is None:
+            await self._serve_one(connection, record, None)
+            return
+        # Join the client's trace if the request carries a context.
+        with tracer.span("server.request",
+                         parent=propagation.extract(record)) as span:
+            await self._serve_one(connection, record, span)
+
+    async def _serve_one(self, connection, record, span):
         started = time.perf_counter()
         op_key = None
         error = False
         buffer = connection.take_buffer()
         try:
-            if self.stats is not None:
-                try:
-                    info = probe(record)
-                    op_key = self._op_names.get(info.op_key, info.op_key)
-                except TransportError:
-                    op_key = "?"
+            if self.stats is not None or span is not None:
+                with trace.span("demux"):
+                    try:
+                        info = probe(record)
+                        op_key = self._op_names.get(
+                            info.op_key, info.op_key
+                        )
+                    except TransportError:
+                        op_key = "?"
+                if span is not None and op_key is not None:
+                    span.set(op=str(op_key))
             try:
-                if self._executor is not None:
-                    has_reply = await self._loop.run_in_executor(
-                        self._executor, self._dispatch, record, self._impl,
-                        buffer,
-                    )
-                else:
-                    has_reply = self._dispatch(record, self._impl, buffer)
+                with trace.span("dispatch"):
+                    if self._executor is not None:
+                        if span is not None:
+                            # Executor threads do not inherit this
+                            # task's contextvars; carry them over so the
+                            # stub's decode/encode spans nest here.
+                            context = contextvars.copy_context()
+                            has_reply = await self._loop.run_in_executor(
+                                self._executor, context.run,
+                                self._dispatch, record, self._impl,
+                                buffer,
+                            )
+                        else:
+                            has_reply = await self._loop.run_in_executor(
+                                self._executor, self._dispatch, record,
+                                self._impl, buffer,
+                            )
+                    else:
+                        has_reply = self._dispatch(
+                            record, self._impl, buffer
+                        )
             except RuntimeFlickError:
                 # Malformed request or dispatch failure: the blocking
                 # server drops the connection here; do the same (any
@@ -241,9 +272,10 @@ class AioTcpServer:
                 return
             if has_reply:
                 payload = encode_record(buffer.view())
-                async with connection.write_lock:
-                    connection.writer.write(payload)
-                    await connection.writer.drain()
+                with trace.span("write", bytes=len(payload)):
+                    async with connection.write_lock:
+                        connection.writer.write(payload)
+                        await connection.writer.drain()
         except (ConnectionError, asyncio.CancelledError, OSError):
             error = True
         finally:

@@ -1,11 +1,19 @@
-"""Server metrics: per-operation call counts, errors, latency histograms.
+"""Runtime metrics: per-operation server stats, client-runtime stats.
 
-The asyncio server records one observation per dispatched request; stats
-objects are cheap enough to leave on in production (one lock acquisition
-and a handful of integer increments per request).  Latencies land in
-log-spaced buckets, which keeps the memory footprint constant while still
-supporting meaningful percentile estimates over many orders of magnitude
-(an in-process dispatch takes microseconds; a slow servant, seconds).
+Both are thin, stable facades over :class:`repro.obs.metrics
+.MetricsRegistry` — the generalized registry grew out of the original
+``ServerStats`` here, and this module keeps the ergonomic server-side
+API (``record``/``snapshot``/``format_table``) while exposing the
+registry itself for Prometheus scraping (``flick serve
+--metrics-port``).
+
+``ServerStats`` is recorded by *both* server runtimes now — the asyncio
+:class:`~repro.runtime.aio.server.AioTcpServer` and the blocking
+:class:`~repro.runtime.socket_transport.TcpServer`/
+:class:`~repro.runtime.socket_transport.UdpServer` — one observation per
+dispatched request.  ``ClientStats`` counts the client runtime's
+failure-path events (retries, deadline expiries, orphan replies) and
+tracks pool occupancy.
 
 ``flick serve --stats`` prints :meth:`ServerStats.format_table` on
 shutdown.
@@ -13,112 +21,81 @@ shutdown.
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
-
-#: Histogram bucket upper bounds, seconds (log-spaced, 1-3-10 ladder).
-BUCKET_BOUNDS = (
-    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0,
-    10.0,
+from repro.obs.metrics import (  # re-exported for backward compatibility
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    MetricsRegistry,
 )
 
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with percentile estimates."""
-
-    __slots__ = ("counts", "total", "sum_seconds", "max_seconds")
-
-    def __init__(self):
-        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
-        self.total = 0
-        self.sum_seconds = 0.0
-        self.max_seconds = 0.0
-
-    def observe(self, seconds):
-        self.counts[bisect_left(BUCKET_BOUNDS, seconds)] += 1
-        self.total += 1
-        self.sum_seconds += seconds
-        if seconds > self.max_seconds:
-            self.max_seconds = seconds
-
-    def percentile(self, q):
-        """The upper bound of the bucket holding the *q*-th percentile."""
-        if not self.total:
-            return 0.0
-        rank = max(1, int(self.total * q / 100.0 + 0.5))
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank:
-                if index < len(BUCKET_BOUNDS):
-                    return BUCKET_BOUNDS[index]
-                return self.max_seconds
-        return self.max_seconds
-
-    @property
-    def mean(self):
-        return self.sum_seconds / self.total if self.total else 0.0
+__all__ = ["BUCKET_BOUNDS", "ClientStats", "LatencyHistogram",
+           "ServerStats"]
 
 
-class OperationStats:
-    """Counters for one operation."""
-
-    __slots__ = ("calls", "errors", "histogram")
-
-    def __init__(self):
-        self.calls = 0
-        self.errors = 0
-        self.histogram = LatencyHistogram()
+def _label(op_key):
+    """A printable label for a demux key (int, bytes, or name)."""
+    if isinstance(op_key, (bytes, bytearray, memoryview)):
+        return bytes(op_key).decode("latin-1")
+    return str(op_key)
 
 
 class ServerStats:
     """Thread-safe per-operation metrics for a server.
 
     Keys are demux keys (ONC procedure numbers, GIOP operation names) or,
-    when the server was built through :meth:`StubServer.aio_server`, the
-    human-readable operation names resolved from the stub module.
+    when the server was built through :meth:`StubServer.aio_server` /
+    :meth:`StubServer.tcp_server`, the human-readable operation names
+    resolved from the stub module.  The backing registry is exposed as
+    :attr:`registry` for Prometheus exposition.
     """
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._operations = {}
+    def __init__(self, registry=None):
+        self.registry = registry or MetricsRegistry()
+        self._requests = self.registry.counter(
+            "flick_server_requests_total", "Requests dispatched", ("op",)
+        )
+        self._errors = self.registry.counter(
+            "flick_server_errors_total", "Requests that failed", ("op",)
+        )
+        self._latency = self.registry.histogram(
+            "flick_server_latency_seconds",
+            "Request service time (read to reply written)", ("op",),
+        )
 
     def record(self, op_key, seconds, error=False):
-        with self._lock:
-            stats = self._operations.get(op_key)
-            if stats is None:
-                stats = self._operations[op_key] = OperationStats()
-            stats.calls += 1
-            if error:
-                stats.errors += 1
-            stats.histogram.observe(seconds)
+        op = _label(op_key)
+        self._requests.labels(op).inc()
+        if error:
+            self._errors.labels(op).inc()
+        self._latency.labels(op).observe(seconds)
 
     def snapshot(self):
         """A plain-dict view: op -> calls/errors/mean/p50/p95/p99/max."""
-        with self._lock:
-            result = {}
-            for op_key, stats in self._operations.items():
-                histogram = stats.histogram
-                result[op_key] = {
-                    "calls": stats.calls,
-                    "errors": stats.errors,
-                    "mean_s": histogram.mean,
-                    "p50_s": histogram.percentile(50),
-                    "p95_s": histogram.percentile(95),
-                    "p99_s": histogram.percentile(99),
-                    "max_s": histogram.max_seconds,
-                }
-            return result
+        errors = {
+            key[0]: child.value for key, child in self._errors.collect()
+        }
+        result = {}
+        for key, histogram in self._latency.collect():
+            op = key[0]
+            result[op] = {
+                "calls": histogram.total,
+                "errors": errors.get(op, 0),
+                "mean_s": histogram.mean,
+                "p50_s": histogram.percentile(50),
+                "p95_s": histogram.percentile(95),
+                "p99_s": histogram.percentile(99),
+                "max_s": histogram.max,
+            }
+        return result
 
     @property
     def total_calls(self):
-        with self._lock:
-            return sum(stats.calls for stats in self._operations.values())
+        return sum(
+            child.value for _key, child in self._requests.collect()
+        )
 
     @property
     def total_errors(self):
-        with self._lock:
-            return sum(stats.errors for stats in self._operations.values())
+        return sum(child.value for _key, child in self._errors.collect())
 
     def format_table(self):
         """A printable table of the snapshot."""
@@ -151,6 +128,42 @@ class ServerStats:
             if index == 0:
                 lines.append("  ".join("-" * width for width in widths))
         return "\n".join(lines)
+
+
+class ClientStats:
+    """Client-runtime counters: the failure paths and pool occupancy.
+
+    Handed to :class:`~repro.runtime.aio.client.ConnectionPool` /
+    :class:`~repro.runtime.aio.client.AioClientTransport`; recording is
+    skipped entirely when no stats object is attached.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry or MetricsRegistry()
+        self.retries = self.registry.counter(
+            "flick_client_retries_total",
+            "Call attempts beyond the first",
+        )
+        self.deadline_expiries = self.registry.counter(
+            "flick_client_deadline_expiries_total",
+            "Calls that exceeded their deadline",
+        )
+        self.orphan_replies = self.registry.counter(
+            "flick_client_orphan_replies_total",
+            "Replies whose caller had already given up",
+        )
+        self.transport_errors = self.registry.counter(
+            "flick_client_transport_errors_total",
+            "Connection-level failures observed by calls",
+        )
+        self.open_connections = self.registry.gauge(
+            "flick_client_pool_connections",
+            "Open connections in the pool",
+        )
+        self.in_flight = self.registry.gauge(
+            "flick_client_in_flight_requests",
+            "Requests awaiting replies across the pool",
+        )
 
 
 def _fmt_seconds(seconds):

@@ -47,11 +47,23 @@ class StubServer:
         """An in-process transport bound to this servant."""
         return LoopbackTransport(self.module.dispatch, self.impl)
 
-    def tcp_server(self, host="127.0.0.1", port=0):
-        return TcpServer(self.module.dispatch, self.impl, host, port)
+    def tcp_server(self, host="127.0.0.1", port=0, **kwargs):
+        """A blocking threaded TCP server for this servant.
 
-    def udp_server(self, host="127.0.0.1", port=0):
-        return UdpServer(self.module.dispatch, self.impl, host, port)
+        Keyword arguments (``stats`` in particular) are forwarded to
+        :class:`~repro.runtime.socket_transport.TcpServer`; stats get
+        human-readable operation names resolved from the stub module.
+        """
+        kwargs.setdefault("op_names", operation_names(self.module))
+        return TcpServer(
+            self.module.dispatch, self.impl, host, port, **kwargs
+        )
+
+    def udp_server(self, host="127.0.0.1", port=0, **kwargs):
+        kwargs.setdefault("op_names", operation_names(self.module))
+        return UdpServer(
+            self.module.dispatch, self.impl, host, port, **kwargs
+        )
 
     def aio_server(self, host="127.0.0.1", port=0, **kwargs):
         """A concurrent asyncio server for this servant.

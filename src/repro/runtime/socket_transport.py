@@ -15,9 +15,11 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 
 from repro.errors import TransportError
 from repro.encoding.buffer import MarshalBuffer
+from repro.obs import propagation, trace
 from repro.runtime.framing import (
     HEADER_SIZE,
     LAST_FRAGMENT,
@@ -29,6 +31,33 @@ from repro.runtime.transport import Transport
 
 _LAST_FRAGMENT = LAST_FRAGMENT  # backward-compatible alias
 MAX_UDP_SIZE = 65000
+
+
+def _probe_op_key(op_names, request):
+    """The human-readable operation key for *request* ("?" if opaque)."""
+    from repro.runtime.aio.correlation import probe
+
+    try:
+        info = probe(request)
+    except TransportError:
+        return "?"
+    return op_names.get(info.op_key, info.op_key)
+
+
+def _request_op_key(stats, op_names, request):
+    """The stats key for *request*, or None when stats are off."""
+    if stats is None:
+        return None
+    return _probe_op_key(op_names, request)
+
+
+def _inject_current_trace(payload):
+    """Weave the caller's span into *payload* when tracing is on."""
+    if trace.active() is not None:
+        parent = trace.current_span()
+        if parent is not None:
+            return propagation.inject(payload, parent)
+    return payload
 
 
 def _send_record(sock, payload):
@@ -99,11 +128,16 @@ class TcpClientTransport(Transport):
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def call(self, request):
-        _send_record(self._sock, bytes(request))
-        return _recv_record(self._sock)
+        payload = _inject_current_trace(bytes(request))
+        with trace.span("send", bytes=len(payload)):
+            _send_record(self._sock, payload)
+        with trace.span("await.reply"):
+            return _recv_record(self._sock)
 
     def send(self, request):
-        _send_record(self._sock, bytes(request))
+        payload = _inject_current_trace(bytes(request))
+        with trace.span("send", bytes=len(payload)):
+            _send_record(self._sock, payload)
 
     def close(self):
         self._sock.close()
@@ -114,11 +148,18 @@ class TcpServer:
 
     Each connection is served on its own thread; requests are dispatched
     in order per connection, matching ONC RPC over TCP semantics.
+
+    *stats* (an optional :class:`~repro.runtime.aio.stats.ServerStats`)
+    records one observation per request, the same way the asyncio server
+    does; *op_names* maps demux keys to display names for it.
     """
 
-    def __init__(self, dispatch, impl, host="127.0.0.1", port=0):
+    def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
+                 stats=None, op_names=None):
         self._dispatch = dispatch
         self._impl = impl
+        self.stats = stats
+        self._op_names = op_names or {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -166,15 +207,43 @@ class TcpServer:
                     request = _recv_record(connection)
                 except TransportError:
                     return
-                buffer.reset()
-                if self._dispatch(request, self._impl, buffer):
-                    _send_record(connection, buffer.view())
+                self._serve_request(connection, request, buffer)
         except OSError:
             pass
         finally:
             with self._lock:
                 self._connections.discard(connection)
             connection.close()
+
+    def _serve_request(self, connection, request, buffer):
+        started = time.perf_counter()
+        tracer = trace.active()
+        op_key = None
+        if self.stats is not None or tracer is not None:
+            op_key = _probe_op_key(self._op_names, request)
+        error = False
+        try:
+            if tracer is None:
+                buffer.reset()
+                if self._dispatch(request, self._impl, buffer):
+                    _send_record(connection, buffer.view())
+                return
+            with tracer.span("server.request", op=str(op_key),
+                             parent=propagation.extract(request)):
+                buffer.reset()
+                with tracer.span("dispatch"):
+                    has_reply = self._dispatch(request, self._impl, buffer)
+                if has_reply:
+                    with tracer.span("write"):
+                        _send_record(connection, buffer.view())
+        except BaseException:
+            error = True
+            raise
+        finally:
+            if self.stats is not None and op_key is not None:
+                self.stats.record(
+                    op_key, time.perf_counter() - started, error=error
+                )
 
     def stop(self, timeout=2.0):
         """Close the listener, unblock workers, and join all threads."""
@@ -239,11 +308,17 @@ class UdpClientTransport(Transport):
 
 
 class UdpServer:
-    """A single-threaded UDP server around a generated dispatch."""
+    """A single-threaded UDP server around a generated dispatch.
 
-    def __init__(self, dispatch, impl, host="127.0.0.1", port=0):
+    Takes the same optional *stats*/*op_names* as :class:`TcpServer`.
+    """
+
+    def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
+                 stats=None, op_names=None):
         self._dispatch = dispatch
         self._impl = impl
+        self.stats = stats
+        self._op_names = op_names or {}
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))
         self.address = self._sock.getsockname()
@@ -266,15 +341,29 @@ class UdpServer:
                 continue
             except OSError:
                 return
-            buffer.reset()
-            if self._dispatch(request, self._impl, buffer):
-                reply = buffer.getvalue()
-                if len(reply) > MAX_UDP_SIZE:
-                    # An oversized reply cannot be sent as one datagram;
-                    # drop it rather than crash the serve loop (the
-                    # client's recv will time out, mirroring UDP loss).
-                    continue
-                self._sock.sendto(reply, peer)
+            started = time.perf_counter()
+            op_key = _request_op_key(self.stats, self._op_names, request)
+            error = False
+            try:
+                buffer.reset()
+                if self._dispatch(request, self._impl, buffer):
+                    reply = buffer.getvalue()
+                    if len(reply) > MAX_UDP_SIZE:
+                        # An oversized reply cannot be sent as one
+                        # datagram; drop it rather than crash the serve
+                        # loop (the client's recv will time out,
+                        # mirroring UDP loss).
+                        error = True
+                        continue
+                    self._sock.sendto(reply, peer)
+            except BaseException:
+                error = True
+                raise
+            finally:
+                if self.stats is not None and op_key is not None:
+                    self.stats.record(
+                        op_key, time.perf_counter() - started, error=error
+                    )
 
     def stop(self, timeout=2.0):
         self._running = False

@@ -76,6 +76,11 @@ def build_parser():
         help="generate stubs with a comparator compiler instead of Flick"
              " (rpcgen, powerrpc, orbeline, ilu, mig)",
     )
+    compile_parser.add_argument(
+        "--timing", action="store_true",
+        help="report per-phase compile times (parse, AOI lowering,"
+             " presentation, back-end emit) and generated-stub sizes",
+    )
 
     inspect_parser = sub.add_parser(
         "inspect",
@@ -117,7 +122,17 @@ def build_parser():
     serve_parser.add_argument(
         "--stats", action="store_true",
         help="collect per-operation call counts, errors, and latency"
-             " histograms; printed at shutdown (requires --aio)",
+             " histograms; printed at shutdown",
+    )
+    serve_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable tracing and append finished spans to PATH as JSON"
+             " lines (one object per span)",
+    )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics at http://HOST:PORT/metrics"
+             " (0 picks a free port; implies --stats)",
     )
     serve_parser.add_argument(
         "--max-concurrency", type=int, default=64,
@@ -179,6 +194,7 @@ def command_compile(args):
     with open(args.input) as handle:
         text = handle.read()
     frontend = args.frontend or _guess_frontend(args.input)
+    timed_results = []
     if frontend == "mig":
         if args.baseline:
             from repro.compilers import make_baseline
@@ -215,6 +231,7 @@ def command_compile(args):
             if not by_name:
                 raise FlickError("the input defines no interfaces")
             results = list(by_name.values())
+        timed_results = results
         if args.baseline:
             all_stubs = _apply_baseline(
                 args, [result.presc for result in results]
@@ -258,7 +275,29 @@ def command_compile(args):
                 ", ".join(written),
             )
         )
+    if getattr(args, "timing", False):
+        if not timed_results:
+            print("timing: not available for the %s front end" % frontend)
+        for result in timed_results:
+            _print_timing(result)
     return 0
+
+
+def _print_timing(result):
+    timings = result.timings or {}
+    phases = "  ".join(
+        "%s %.2fms" % (key[:-2], seconds * 1e3)
+        for key, seconds in timings.items()
+        if key.endswith("_s") and key != "total_s"
+    )
+    print("timing %s: %s  (total %.2fms)"
+          % (result.stubs.interface_name, phases,
+             timings.get("total_s", 0.0) * 1e3))
+    summary = result.emit_summary()
+    print("  emitted: %d operation(s), %d bytes (%d lines),"
+          " %d marshal chunk(s)"
+          % (summary["operations"], summary["stub_bytes"],
+             summary["stub_lines"], summary["request_chunks"]))
 
 
 def _write(path, content, written):
@@ -398,6 +437,7 @@ def command_serve(args):
     """Compile an interface, bind a servant, and serve it over TCP."""
     import time
 
+    from repro import obs
     from repro.runtime import ServerStats, StubServer
     from repro.runtime.aio import ServeOptions
 
@@ -405,48 +445,70 @@ def command_serve(args):
         host=args.host, port=args.port, aio=args.aio,
         max_concurrency=args.max_concurrency,
         dispatch_mode=args.dispatch_mode, stats=args.stats,
+        trace_path=args.trace, metrics_port=args.metrics_port,
     )
-    if options.stats and not options.aio:
-        raise FlickError(
-            "--stats requires --aio (the blocking server has no"
-            " metrics hooks)"
-        )
     with open(args.input) as handle:
         text = handle.read()
     result = _compile_for_serving(args, text)
     stub_module = result.load_module()
     impl = _load_servant(args.impl, stub_module)
     stub_server = StubServer(stub_module, impl)
-    stats = ServerStats() if options.stats else None
+    want_stats = options.stats or options.metrics_port is not None
+    stats = ServerStats() if want_stats else None
+    if options.trace_path:
+        obs.configure(obs.JsonlExporter(options.trace_path))
+        obs.instrument_stub_module(stub_module)
+    server_kwargs = {"stats": stats}
     if options.aio:
         server = stub_server.aio_server(
             options.host, options.port,
             max_concurrency=options.max_concurrency,
             dispatch_mode=options.dispatch_mode,
-            stats=stats,
             drain_timeout=options.drain_timeout,
+            **server_kwargs,
         )
         runtime_name = "asyncio runtime, %s dispatch" % options.dispatch_mode
     else:
-        server = stub_server.tcp_server(options.host, options.port)
-        runtime_name = "blocking thread-per-connection"
-    with server:
-        host, port = server.address
-        print(
-            "serving %s (%s back end; %s) on %s:%d"
-            % (result.stubs.interface_name, result.stubs.backend_name,
-               runtime_name, host, port),
-            flush=True,
+        server = stub_server.tcp_server(
+            options.host, options.port, **server_kwargs
         )
-        try:
-            if args.duration is not None:
-                time.sleep(args.duration)
-            else:
-                while True:
-                    time.sleep(3600)
-        except KeyboardInterrupt:
-            print("shutting down (draining in-flight requests)",
-                  flush=True)
+        runtime_name = "blocking thread-per-connection"
+    metrics_server = None
+    try:
+        with server:
+            host, port = server.address
+            print(
+                "serving %s (%s back end; %s) on %s:%d"
+                % (result.stubs.interface_name, result.stubs.backend_name,
+                   runtime_name, host, port),
+                flush=True,
+            )
+            if options.trace_path:
+                print("tracing spans to %s" % options.trace_path,
+                      flush=True)
+            if options.metrics_port is not None:
+                metrics_server = obs.MetricsHttpServer(
+                    stats.registry, options.host, options.metrics_port
+                ).start()
+                print(
+                    "metrics on http://%s:%d/metrics"
+                    % metrics_server.address[:2],
+                    flush=True,
+                )
+            try:
+                if args.duration is not None:
+                    time.sleep(args.duration)
+                else:
+                    while True:
+                        time.sleep(3600)
+            except KeyboardInterrupt:
+                print("shutting down (draining in-flight requests)",
+                      flush=True)
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
+        if options.trace_path:
+            obs.shutdown()  # flush and close the span file
     if stats is not None:
         print(stats.format_table(), flush=True)
     return 0

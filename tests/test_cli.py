@@ -69,6 +69,17 @@ class TestCompile:
         text = open(os.path.join(outdir, "mail_iiop.py")).read()
         assert "_HANDLERS" not in text
 
+    def test_timing_flag(self, tmp_path, outdir, capsys):
+        source = write(tmp_path, "mail.idl", MAIL)
+        assert main(
+            ["compile", source, "-o", outdir, "--emit", "py", "--timing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timing Mail:" in out
+        assert "parse" in out and "emit" in out and "total" in out
+        assert "emitted:" in out
+        assert "marshal chunk" in out
+
     def test_syntax_error_reported(self, tmp_path, outdir, capsys):
         source = write(tmp_path, "bad.idl", "interface {")
         assert main(["compile", source, "-o", outdir]) == 1
@@ -258,15 +269,40 @@ class TestServe:
         assert "avg" in out          # the stats table names the op
         assert "p95" in out
 
-    def test_stats_without_aio_rejected(self, tmp_path, monkeypatch,
-                                        capsys):
-        source = write(tmp_path, "calc.idl", SERVE_IDL)
-        write(tmp_path, "calc_impl.py", SERVE_IMPL)
-        monkeypatch.chdir(tmp_path)
-        assert main(
-            ["serve", source, "--impl", "calc_impl:CalcImpl", "--stats"]
-        ) == 1
-        assert "--stats requires --aio" in capsys.readouterr().err
+    def test_serve_blocking_with_stats(self, tmp_path, monkeypatch,
+                                       capsys):
+        assert _serve_and_call(tmp_path, monkeypatch, ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "thread-per-connection" in out
+        assert "avg" in out          # the stats table names the op
+        assert "p95" in out
+
+    def test_serve_with_trace(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        trace_path = tmp_path / "spans.jsonl"
+        assert _serve_and_call(
+            tmp_path, monkeypatch, ["--trace", str(trace_path)]
+        ) == 0
+        assert "tracing spans to" in capsys.readouterr().out
+        spans = [json.loads(line)
+                 for line in trace_path.read_text().splitlines()]
+        names = {span["name"] for span in spans}
+        assert "server.request" in names
+        assert "dispatch" in names
+        (request_span,) = [s for s in spans
+                           if s["name"] == "server.request"]
+        assert request_span["attrs"]["op"].endswith("avg")
+
+    def test_serve_with_metrics_port(self, tmp_path, monkeypatch,
+                                     capsys):
+        assert _serve_and_call(
+            tmp_path, monkeypatch, ["--metrics-port", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        # --metrics-port implies --stats and announces the endpoint.
+        assert "metrics on http://" in out
+        assert "p95" in out
 
     def test_bad_impl_spec_rejected(self, tmp_path, capsys):
         source = write(tmp_path, "calc.idl", SERVE_IDL)
