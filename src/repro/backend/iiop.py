@@ -24,6 +24,19 @@ from repro.encoding import CDR_BE, CDR_LE
 
 GIOP_REQUEST = 0
 GIOP_REPLY = 1
+GIOP_MESSAGE_ERROR = 6
+
+#: Reply-status sentinel for system-exception replies.  GIOP proper uses
+#: reply_status 2 (SYSTEM_EXCEPTION); this compiler's reply_status doubles
+#: as the reply-union discriminator where small integers label user
+#: exceptions (see the module docstring), so system exceptions take a
+#: value no exception arm can collide with.  Wire-compatible within this
+#: implementation only, like the discriminator scheme itself.
+SYSTEM_EXCEPTION_STATUS = 0x7FFFFFFF
+
+#: Refuse requests advertising absurdly many service contexts (each entry
+#: costs a bounds-checked skip; a forged count must not buy a long loop).
+MAX_SERVICE_CONTEXTS = 64
 
 
 def _pad4(length):
@@ -98,23 +111,48 @@ class IiopBackEnd(OptimizingBackEnd):
     def demux_key(self, presc, stub):
         return stub.operation_name.encode("latin-1")
 
+    unknown_op_code = "bad_operation"
+
     def emit_dispatch_prelude(self, w, presc):
         endian = self.wire_format.endian
         w.line("if bytes(d[0:4]) != b'GIOP':")
         w.indent()
-        w.line("raise DispatchError('not a GIOP message')")
+        w.line("raise DispatchError('not a GIOP message',"
+               " code='bad_magic')")
+        w.dedent()
+        w.line("if len(d) < 12:")
+        w.indent()
+        w.line("raise WireFormatError('GIOP header truncated',"
+               " field='header', limit=12, actual=len(d))")
         w.dedent()
         w.line("if d[7] != %d:" % GIOP_REQUEST)
         w.indent()
-        w.line("raise DispatchError('not a GIOP Request')")
+        w.line("raise DispatchError('not a GIOP Request',"
+               " code='not_request')")
         w.dedent()
         w.line("if d[6] != %d:" % (1 if self.little_endian else 0))
         w.indent()
         w.line("raise DispatchError('GIOP byte-order mismatch: these"
-               " stubs were generated %s-endian')"
+               " stubs were generated %s-endian', code='byte_order')"
                % ("little" if self.little_endian else "big"))
         w.dedent()
+        # Declared-vs-actual frame size: a lying message_size means the
+        # framing layer and the GIOP layer disagree about where this
+        # message ends — nothing after the header can be trusted.
+        w.line("_msz = _unpack_from('%sI', d, 8)[0]" % endian)
+        w.line("if _msz != len(d) - 12:")
+        w.indent()
+        w.line("raise WireFormatError('GIOP message size %d disagrees"
+               " with frame size %d' % (_msz, len(d) - 12), offset=8,"
+               " field='message_size', actual=_msz, limit=len(d) - 12)")
+        w.dedent()
         w.line("_nsc = _unpack_from('%sI', d, 12)[0]" % endian)
+        w.line("if _nsc > %d:" % MAX_SERVICE_CONTEXTS)
+        w.indent()
+        w.line("raise WireFormatError('too many service contexts',"
+               " offset=12, field='service_contexts', limit=%d,"
+               " actual=_nsc)" % MAX_SERVICE_CONTEXTS)
+        w.dedent()
         w.line("o = 16")
         w.line("for _ in range(_nsc):")
         w.indent()
@@ -139,11 +177,27 @@ class IiopBackEnd(OptimizingBackEnd):
         endian = self.wire_format.endian
         w.line("def _check_reply(d, _ctx):")
         w.indent()
-        w.line("if bytes(d[0:4]) != b'GIOP' or d[7] != %d:" % GIOP_REPLY)
+        w.line("if bytes(d[0:4]) != b'GIOP' or len(d) < 12:")
+        w.indent()
+        w.line("raise TransportError('not a GIOP Reply')")
+        w.dedent()
+        w.line("if d[7] == %d:" % GIOP_MESSAGE_ERROR)
+        w.indent()
+        w.line("raise RemoteCallError('server answered with GIOP"
+               " MessageError', protocol='giop',"
+               " code='GIOP::MessageError')")
+        w.dedent()
+        w.line("if d[7] != %d:" % GIOP_REPLY)
         w.indent()
         w.line("raise TransportError('not a GIOP Reply')")
         w.dedent()
         w.line("_nsc = _unpack_from('%sI', d, 12)[0]" % endian)
+        w.line("if _nsc > %d:" % MAX_SERVICE_CONTEXTS)
+        w.indent()
+        w.line("raise WireFormatError('too many service contexts',"
+               " offset=12, field='service_contexts', limit=%d,"
+               " actual=_nsc)" % MAX_SERVICE_CONTEXTS)
+        w.dedent()
         w.line("o = 16")
         w.line("for _ in range(_nsc):")
         w.indent()
@@ -158,3 +212,125 @@ class IiopBackEnd(OptimizingBackEnd):
         w.dedent()
         w.line("return o + 4")
         w.dedent()
+        w.blank()
+        w.line("def _u_system_exception(d, o):")
+        w.indent()
+        w.line('"""Decode a system-exception reply body; returns the')
+        w.line('RemoteCallError for the caller to raise."""')
+        w.line("_n = _unpack_from('%sI', d, o)[0]" % endian)
+        w.line("if _n > len(d) - o - 4:")
+        w.indent()
+        w.line("raise WireFormatError('system exception id truncated',"
+               " offset=o, field='exc_id_length', actual=_n)")
+        w.dedent()
+        w.line("_id = bytes(d[o + 4:o + 4 + _n])"
+               ".rstrip(b'\\x00').decode('latin-1')")
+        w.line("o += 4 + _n + (-_n % 4)")
+        w.line("(_minor, _cmp) = _unpack_from('%sII', d, o)" % endian)
+        w.line("return RemoteCallError('server raised %s"
+               " (minor %d, completed %d)' % (_id, _minor, _cmp),"
+               " protocol='giop', code=_id, minor=_minor,"
+               " completed=_cmp)")
+        w.dedent()
+
+    def emit_reply_error_tail(self, w, presc):
+        w.line("if _d == %d:" % SYSTEM_EXCEPTION_STATUS)
+        w.indent()
+        w.line("raise _u_system_exception(d, o)")
+        w.dedent()
+        w.line("raise UnmarshalError('bad reply status %r' % (_d,))")
+
+    def emit_error_reply(self, w, presc):
+        endian = self.wire_format.endian
+        flag = 1 if self.little_endian else 0
+        w.line("_H_MSGERR = %r" % self._giop_header(GIOP_MESSAGE_ERROR))
+        w.line("_H_ERRREP = %r" % self._giop_header(GIOP_REPLY))
+        w.blank()
+        w.line("def encode_error_reply(d, error, b):")
+        w.indent()
+        w.line('"""GIOP error reply for a request dispatch refused.')
+        w.line('')
+        w.line('A parseable two-way Request gets a system-exception')
+        w.line('Reply (CORBA::MARSHAL / BAD_OPERATION / TRANSIENT /')
+        w.line('UNKNOWN); anything else that still looks like GIOP-bound')
+        w.line('traffic gets a MessageError.  Returns False only for')
+        w.line('oneway requests (no reply may be sent)."""')
+        w.line("_rid = None")
+        w.line("_two_way = True")
+        w.line("try:")
+        w.indent()
+        w.line("if (len(d) >= 12 and bytes(d[0:4]) == b'GIOP'")
+        w.line("        and d[7] == %d and d[6] == %d):" % (
+            GIOP_REQUEST, flag))
+        w.indent()
+        w.line("_nsc = _unpack_from('%sI', d, 12)[0]" % endian)
+        w.line("if _nsc <= %d:" % MAX_SERVICE_CONTEXTS)
+        w.indent()
+        w.line("o = 16")
+        w.line("for _ in range(_nsc):")
+        w.indent()
+        w.line("_cl = _unpack_from('%sI', d, o + 4)[0]" % endian)
+        w.line("o += 8 + _cl")
+        w.line("o += -o % 4")
+        w.dedent()
+        w.line("_rid = _unpack_from('%sI', d, o)[0]" % endian)
+        w.line("_two_way = d[o + 4] != 0")
+        w.dedent()
+        w.dedent()
+        w.dedent()
+        w.line("except _DEC_ERRORS:")
+        w.indent()
+        w.line("_rid = None")
+        w.dedent()
+        w.line("if _rid is None:")
+        w.indent()
+        w.line("# Header unusable: answer with GIOP MessageError.")
+        w.line("_o0 = b.reserve(12)")
+        w.line("b.data[_o0:_o0 + 12] = _H_MSGERR")
+        w.line("return True")
+        w.dedent()
+        w.line("if not _two_way:")
+        w.indent()
+        w.line("return False")
+        w.dedent()
+        w.line("if isinstance(error, OverloadError):")
+        w.indent()
+        w.line("_id = b'IDL:omg.org/CORBA/TRANSIENT:1.0\\x00'")
+        w.line("_cmp = 1  # COMPLETED_NO")
+        w.dedent()
+        w.line("elif getattr(error, 'code', None) == 'bad_operation':")
+        w.indent()
+        w.line("_id = b'IDL:omg.org/CORBA/BAD_OPERATION:1.0\\x00'")
+        w.line("_cmp = 1")
+        w.dedent()
+        w.line("elif isinstance(error, (WireFormatError, UnmarshalError,"
+               " DispatchError)):")
+        w.indent()
+        w.line("_id = b'IDL:omg.org/CORBA/MARSHAL:1.0\\x00'")
+        w.line("_cmp = 1")
+        w.dedent()
+        w.line("else:")
+        w.indent()
+        w.line("_id = b'IDL:omg.org/CORBA/UNKNOWN:1.0\\x00'")
+        w.line("_cmp = 2  # COMPLETED_MAYBE")
+        w.dedent()
+        w.line("_o0 = b.reserve(24)")
+        w.line("b.data[_o0:_o0 + 12] = _H_ERRREP")
+        w.line("_pack_into('%sIII', b.data, _o0 + 12, 0, _rid, %d)"
+               % (endian, SYSTEM_EXCEPTION_STATUS))
+        w.line("_n = len(_id)")
+        w.line("_p = -_n % 4")
+        w.line("_o1 = b.reserve(4 + _n + _p + 8)")
+        w.line("_pack_into('%sI', b.data, _o1, _n)" % endian)
+        w.line("b.data[_o1 + 4:_o1 + 4 + _n] = _id")
+        w.line("if _p:")
+        w.indent()
+        w.line("b.data[_o1 + 4 + _n:_o1 + 4 + _n + _p] = _Z[:_p]")
+        w.dedent()
+        w.line("_pack_into('%sII', b.data, _o1 + 4 + _n + _p, 0, _cmp)"
+               % endian)
+        w.line("_pack_into('%sI', b.data, _o0 + 8, b.length - 12)"
+               % endian)
+        w.line("return True")
+        w.dedent()
+        w.blank()

@@ -1121,6 +1121,11 @@ class UnmarshalEmitter(_EmitterBase):
                 self.fmt.universal_alignment,
             )
             return var
+        # Every element consumes at least one byte, so a declared count
+        # beyond the remaining bytes can never decode: reject it before
+        # looping (a forged count would otherwise spin building millions
+        # of elements out of nothing before failing).
+        self._check_remaining(count)
         return self._emit_element_loop(pres.element, count)
 
     def _emit_element_loop(self, element_pres, count_expr):

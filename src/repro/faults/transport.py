@@ -1,0 +1,105 @@
+"""Transport wrappers that subject traffic to a :class:`FaultPlan`.
+
+:class:`FaultyTransport` wraps any blocking
+:class:`~repro.runtime.transport.Transport` (socket, loopback, or
+:class:`~repro.runtime.simnet.SimulatedNetworkTransport`);
+:class:`FaultyAioTransport` wraps any async pool-like transport exposing
+``acall``/``asend``/``aclose`` (e.g.
+:class:`~repro.runtime.aio.client.ConnectionPool`).
+
+Faults are applied to *requests* before they reach the inner transport;
+an injected drop or reset surfaces as a :class:`TransportError`, exactly
+what a lost or aborted connection produces, so client retry policy and
+circuit breakers exercise their real paths.  Replies can optionally be
+perturbed too (``faults_on_replies=True``), which exercises the client's
+decode hardening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import TransportError
+from repro.runtime.transport import Transport
+
+
+class FaultyTransport(Transport):
+    """A blocking transport applying *plan* to each outgoing request."""
+
+    def __init__(self, inner, plan, *, faults_on_replies=False,
+                 sleep=time.sleep):
+        self._inner = inner
+        self.injector = plan.injector()
+        self._faults_on_replies = faults_on_replies
+        self._sleep = sleep
+
+    def call(self, request):
+        outcome = self.injector.on_message(bytes(request))
+        if outcome.reset:
+            raise TransportError("injected fault: connection reset")
+        if not outcome.deliveries:
+            raise TransportError("injected fault: request dropped")
+        reply = None
+        for delivery in outcome.deliveries:
+            if delivery.delay_s:
+                self._sleep(delivery.delay_s)
+            reply = self._inner.call(delivery.payload)
+        if self._faults_on_replies and reply is not None:
+            reply = self.injector.perturb(reply)
+        return reply
+
+    def send(self, request):
+        outcome = self.injector.on_message(bytes(request))
+        if outcome.reset:
+            raise TransportError("injected fault: connection reset")
+        for delivery in outcome.deliveries:
+            if delivery.delay_s:
+                self._sleep(delivery.delay_s)
+            self._inner.send(delivery.payload)
+
+    def close(self):
+        self._inner.close()
+
+
+class FaultyAioTransport:
+    """An async pool-like transport applying *plan* to each request.
+
+    Duck-compatible with :class:`~repro.runtime.aio.client
+    .ConnectionPool`: ``acall(payload, options=None, parent=None)``,
+    ``asend(payload, options=None)``, ``aclose()``.
+    """
+
+    def __init__(self, inner, plan, *, faults_on_replies=False):
+        self._inner = inner
+        self.injector = plan.injector()
+        self._faults_on_replies = faults_on_replies
+
+    async def acall(self, payload, options=None, parent=None):
+        outcome = self.injector.on_message(bytes(payload))
+        if outcome.reset:
+            raise TransportError("injected fault: connection reset")
+        if not outcome.deliveries:
+            raise TransportError("injected fault: request dropped")
+        reply = None
+        for delivery in outcome.deliveries:
+            if delivery.delay_s:
+                await asyncio.sleep(delivery.delay_s)
+            reply = await self._inner.acall(
+                delivery.payload, options, parent=parent
+            )
+        if self._faults_on_replies and reply is not None:
+            reply = self.injector.perturb(reply)
+        return reply
+
+    async def asend(self, payload, options=None):
+        outcome = self.injector.on_message(bytes(payload))
+        if outcome.reset:
+            raise TransportError("injected fault: connection reset")
+        for delivery in outcome.deliveries:
+            if delivery.delay_s:
+                await asyncio.sleep(delivery.delay_s)
+            await self._inner.asend(delivery.payload, options)
+
+    async def aclose(self):
+        await self._inner.aclose()

@@ -20,12 +20,18 @@ Quick tour::
     )
 """
 
+from repro.runtime.aio.breaker import CircuitBreaker
 from repro.runtime.aio.client import (
     AioClientTransport,
     AioConnection,
     ConnectionPool,
 )
-from repro.runtime.aio.correlation import MessageInfo, probe, rewrite_id
+from repro.runtime.aio.correlation import (
+    MessageInfo,
+    probe,
+    reply_error,
+    rewrite_id,
+)
 from repro.runtime.aio.options import CallOptions, RetryPolicy, ServeOptions
 from repro.runtime.aio.server import AioTcpServer
 from repro.runtime.aio.stats import ClientStats, LatencyHistogram, \
@@ -36,6 +42,7 @@ __all__ = [
     "AioConnection",
     "AioTcpServer",
     "CallOptions",
+    "CircuitBreaker",
     "ClientStats",
     "ConnectionPool",
     "LatencyHistogram",
@@ -44,5 +51,6 @@ __all__ = [
     "ServeOptions",
     "ServerStats",
     "probe",
+    "reply_error",
     "rewrite_id",
 ]

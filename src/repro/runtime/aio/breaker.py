@@ -1,0 +1,111 @@
+"""Client-side circuit breaker: fail fast while a peer is down.
+
+The classic three-state machine:
+
+* **closed** — calls flow; consecutive transport failures are counted.
+* **open** — after *failure_threshold* consecutive failures the breaker
+  rejects calls instantly (:class:`~repro.errors.CircuitOpenError`)
+  for *recovery_time* seconds, so a dead peer costs nothing per call
+  and gets no thundering herd on revival.
+* **half-open** — after the cooldown, up to *half_open_max* probe calls
+  are let through; one success closes the breaker, one failure reopens
+  it (restarting the cooldown).
+
+Wired into :class:`~repro.runtime.aio.client.ConnectionPool` (pass
+``breaker=CircuitBreaker()``); state transitions are mirrored into
+:class:`~repro.runtime.aio.stats.ClientStats` when one is bound.
+The breaker is driven from a single event loop, so no locking.
+"""
+
+from __future__ import annotations
+
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the state for /metrics.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open recovery."""
+
+    def __init__(self, failure_threshold=5, recovery_time=1.0,
+                 half_open_max=1, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_max = max(1, half_open_max)
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = None
+        self._half_open_inflight = 0
+        self._stats = None
+        self.opens = 0
+        self.rejections = 0
+
+    # -- observability ----------------------------------------------------
+
+    def bind_stats(self, stats):
+        """Mirror state changes into a ClientStats; returns self."""
+        self._stats = stats
+        if stats is not None:
+            stats.breaker_state.set(STATE_CODES[self._state])
+        return self
+
+    @property
+    def state(self):
+        """The current state, advancing open → half-open on its own."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.recovery_time):
+            self._transition(HALF_OPEN)
+            self._half_open_inflight = 0
+        return self._state
+
+    def _transition(self, state):
+        self._state = state
+        if self._stats is not None:
+            self._stats.breaker_state.set(STATE_CODES[state])
+
+    # -- the protocol used by ConnectionPool ------------------------------
+
+    def allow(self):
+        """May a call proceed right now?  (Counts a probe if half-open.)"""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            if self._half_open_inflight < self.half_open_max:
+                self._half_open_inflight += 1
+                return True
+            self.rejections += 1
+            return False
+        self.rejections += 1
+        return False
+
+    def record_success(self):
+        if self._state == HALF_OPEN:
+            self._half_open_inflight = 0
+            self._transition(CLOSED)
+        self._failures = 0
+
+    def record_failure(self):
+        if self._state == HALF_OPEN:
+            self._reopen()
+            return
+        self._failures += 1
+        if self._state == CLOSED and self._failures >= self.failure_threshold:
+            self._reopen()
+
+    def _reopen(self):
+        self._failures = 0
+        self._half_open_inflight = 0
+        self._opened_at = self._clock()
+        self.opens += 1
+        if self._stats is not None:
+            self._stats.breaker_opens.inc()
+        self._transition(OPEN)

@@ -29,12 +29,18 @@ from __future__ import annotations
 import asyncio
 import threading
 
-from repro.errors import DeadlineError, TransportError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineError,
+    RemoteCallError,
+    TransportError,
+    WireFormatError,
+)
 from repro.obs import propagation, trace
 from repro.runtime.framing import MAX_RECORD_SIZE, RecordDecoder, \
     encode_record
 from repro.runtime.transport import Transport
-from repro.runtime.aio.correlation import probe, rewrite_id
+from repro.runtime.aio.correlation import probe, reply_error, rewrite_id
 from repro.runtime.aio.options import CallOptions
 
 READ_CHUNK = 65536
@@ -101,6 +107,7 @@ class AioConnection:
 
     async def _read_loop(self):
         reason = "connection closed by peer"
+        wire_error = None
         try:
             while True:
                 data = await self._reader.read(READ_CHUNK)
@@ -110,12 +117,17 @@ class AioConnection:
                     self._route_reply(record)
         except (ConnectionError, OSError) as error:
             reason = "connection lost: %s" % error
+        except WireFormatError as error:
+            # The reply stream itself is garbage; surface the structured
+            # error to pending callers (it is never retried).
+            reason = str(error)
+            wire_error = error
         except TransportError as error:
             reason = str(error)
         except asyncio.CancelledError:
             reason = "connection closed"
         finally:
-            self._fail_pending(reason)
+            self._fail_pending(reason, wire_error)
 
     def _route_reply(self, record):
         try:
@@ -138,13 +150,16 @@ class AioConnection:
         if self._stats is not None:
             self._stats.orphan_replies.inc()
 
-    def _fail_pending(self, reason):
+    def _fail_pending(self, reason, wire_error=None):
         self._closed = True
         self._close_reason = reason
         pending, self._pending = self._pending, {}
         for future, _original in pending.values():
             if not future.done():
-                future.set_exception(TransportError(reason))
+                future.set_exception(
+                    wire_error if wire_error is not None
+                    else TransportError(reason)
+                )
         try:
             self._writer.close()
         except (ConnectionError, OSError):  # pragma: no cover
@@ -221,7 +236,8 @@ class ConnectionPool:
 
     def __init__(self, host, port, *, size=4, connect_timeout=10.0,
                  options=None, connector=None,
-                 max_record_size=MAX_RECORD_SIZE, stats=None):
+                 max_record_size=MAX_RECORD_SIZE, stats=None,
+                 breaker=None):
         self.host = host
         self.port = port
         self.size = max(1, size)
@@ -233,6 +249,9 @@ class ConnectionPool:
         self._connect_lock = asyncio.Lock()
         self._closed = False
         self.stats = stats
+        self.breaker = breaker
+        if breaker is not None and stats is not None:
+            breaker.bind_stats(stats)
 
     async def _default_connector(self):
         return await AioConnection.open(
@@ -300,24 +319,72 @@ class ConnectionPool:
         options = options or self.options
         attempts = self._attempts(options)
         stats = self.stats
+        breaker = self.breaker
         last_error = None
         for attempt in range(attempts):
             if attempt:
                 if stats is not None:
                     stats.retries.inc()
                 await asyncio.sleep(options.retry.delay(attempt - 1))
+            if breaker is not None and not breaker.allow():
+                if stats is not None:
+                    stats.breaker_rejections.inc()
+                last_error = CircuitOpenError(
+                    "circuit breaker is open; failing fast"
+                )
+                continue  # backoff, then probe again
             wrote_request = False
             try:
                 with trace.span("pool.acquire"):
                     connection = await self._get_connection()
                 self._update_gauges()
                 wrote_request = True  # past here the server may execute it
-                return await connection.acall(
+                result = await connection.acall(
                     payload, deadline=options.deadline
                 )
-            except DeadlineError:
-                raise  # the time budget is spent; never retry
+                # A protocol error reply (GARBAGE_ARGS, MARSHAL, ...)
+                # means the request never reached the servant; surface
+                # it here so idempotent calls retry through transient
+                # request corruption instead of failing in the stub.
+                error = reply_error(result)
+                if error is not None:
+                    raise error
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+            except DeadlineError as error:
+                if breaker is not None:
+                    breaker.record_failure()
+                # By default an expired deadline spends the whole call's
+                # budget; retry_deadlines opts idempotent calls into
+                # per-attempt deadlines (lossy-network tolerance).
+                if not (options.retry_deadlines and options.idempotent):
+                    raise
+                last_error = error
+            except WireFormatError:
+                # The peer answered with bytes that violate the
+                # protocol; the same request fails the same way, so
+                # retrying buys nothing — surface it immediately.
+                if breaker is not None:
+                    breaker.record_failure()
+                if stats is not None:
+                    stats.wire_format_errors.inc()
+                raise
+            except RemoteCallError as error:
+                # A protocol-level error *reply*: the peer is healthy
+                # (it parsed and answered), so the breaker sees success;
+                # idempotent calls may retry (the request bytes may have
+                # been damaged in transit).
+                if breaker is not None:
+                    breaker.record_success()
+                if stats is not None:
+                    stats.remote_errors.inc()
+                last_error = error
+                if not options.idempotent:
+                    raise
             except TransportError as error:
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = error
                 if stats is not None:
                     stats.transport_errors.inc()
@@ -402,13 +469,14 @@ class AioClientTransport(Transport):
     """
 
     def __init__(self, host, port, *, pool_size=1, options=None,
-                 connect_timeout=10.0, loop_thread=None, stats=None):
+                 connect_timeout=10.0, loop_thread=None, stats=None,
+                 breaker=None):
         self._runner = loop_thread or _EventLoopThread.shared()
         self._options = options or CallOptions()
         self.stats = stats
         self._pool = ConnectionPool(
             host, port, size=pool_size, connect_timeout=connect_timeout,
-            options=self._options, stats=stats,
+            options=self._options, stats=stats, breaker=breaker,
         )
 
     # The Transport interface --------------------------------------------

@@ -24,12 +24,25 @@ import struct
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.errors import TransportError
+from repro.errors import RemoteCallError, TransportError
 
 ONC_CALL = 0
 ONC_REPLY = 1
 GIOP_REQUEST = 0
 GIOP_REPLY = 1
+GIOP_MESSAGE_ERROR = 6
+
+#: The reply-status sentinel generated GIOP stubs use for CORBA system
+#: exceptions (see repro.backend.iiop.SYSTEM_EXCEPTION_STATUS).
+_GIOP_SYSTEM_EXCEPTION = 0x7FFFFFFF
+
+_ONC_ACCEPT_ERRORS = {
+    1: "PROG_UNAVAIL",
+    2: "PROG_MISMATCH",
+    3: "PROC_UNAVAIL",
+    4: "GARBAGE_ARGS",
+    5: "SYSTEM_ERR",
+}
 
 
 @dataclass(frozen=True)
@@ -135,6 +148,100 @@ def _probe_giop(data):
 def reply_correlation_id(payload):
     """The correlation id of a reply message (fast path for readers)."""
     return probe(payload).correlation_id
+
+
+def reply_error(payload):
+    """The protocol-level error a reply carries, or None.
+
+    Lets the retry loop in :class:`~repro.runtime.aio.client
+    .ConnectionPool` classify replies *before* handing them to the
+    generated stub: a protocol error reply (ONC MSG_DENIED or a non-zero
+    accept_stat; a GIOP MessageError or system exception) means the
+    request never reached the servant's normal path, so idempotent calls
+    may retry it.  User exceptions are NOT errors at this layer — they
+    are successful replies the stub must decode.  Replies too garbled to
+    classify also return None; the stub's hardened decode rejects them
+    with the richer :class:`~repro.errors.WireFormatError`.
+    """
+    data = bytes(payload) if not isinstance(payload, (bytes, bytearray)) \
+        else payload
+    try:
+        if len(data) >= 12 and bytes(data[0:4]) == b"GIOP":
+            return _giop_reply_error(data)
+        if len(data) >= 12:
+            return _onc_reply_error(data)
+    except struct.error:
+        return None
+    return None
+
+
+def _onc_reply_error(data):
+    message_type, reply_stat = struct.unpack_from(">II", data, 4)
+    if message_type != ONC_REPLY:
+        return None
+    if reply_stat == 1:  # MSG_DENIED
+        (reject_stat,) = struct.unpack_from(">I", data, 12)
+        if reject_stat == 0 and len(data) >= 24:
+            low, high = struct.unpack_from(">II", data, 16)
+            return RemoteCallError(
+                "server denied the call: RPC version mismatch"
+                " (supports %d through %d)" % (low, high),
+                protocol="oncrpc", code="RPC_MISMATCH",
+            )
+        return RemoteCallError(
+            "server denied the call: authentication error",
+            protocol="oncrpc", code="AUTH_ERROR",
+        )
+    if reply_stat != 0:
+        return None  # not a well-formed reply; let the stub reject it
+    flavor, length = struct.unpack_from(">II", data, 12)
+    if length > 400:
+        return None
+    offset = 20 + length + (-length % 4)
+    (accept_stat,) = struct.unpack_from(">I", data, offset)
+    code = _ONC_ACCEPT_ERRORS.get(accept_stat)
+    if code is None:
+        return None
+    return RemoteCallError(
+        "server answered %s" % code, protocol="oncrpc", code=code,
+    )
+
+
+def _giop_reply_error(data):
+    if data[7] == GIOP_MESSAGE_ERROR:
+        return RemoteCallError(
+            "server answered with GIOP MessageError",
+            protocol="giop", code="GIOP::MessageError",
+        )
+    if data[7] != GIOP_REPLY:
+        return None
+    endian = "<" if data[6] else ">"
+    try:
+        offset = _skip_giop_service_contexts(data, endian)
+    except TransportError:
+        return None
+    if offset + 8 > len(data):
+        return None
+    (status,) = struct.unpack_from(endian + "I", data, offset + 4)
+    if status != _GIOP_SYSTEM_EXCEPTION:
+        return None  # success or a user exception: the stub decodes it
+    body = offset + 8
+    try:
+        (id_length,) = struct.unpack_from(endian + "I", data, body)
+        if id_length > 256 or body + 4 + id_length > len(data):
+            raise struct.error("bad exception id")
+        repo_id = bytes(
+            data[body + 4:body + 4 + id_length]
+        ).rstrip(b"\x00").decode("latin-1")
+        tail = body + 4 + id_length + (-(body + 4 + id_length) % 4)
+        minor, completed = struct.unpack_from(endian + "II", data, tail)
+    except struct.error:
+        repo_id, minor, completed = "IDL:omg.org/CORBA/UNKNOWN:1.0", 0, 2
+    return RemoteCallError(
+        "server raised %s (minor %d, completed %d)"
+        % (repo_id, minor, completed),
+        protocol="giop", code=repo_id, minor=minor, completed=completed,
+    )
 
 
 def rewrite_id(payload, info, new_id):

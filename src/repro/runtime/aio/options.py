@@ -42,11 +42,16 @@ class CallOptions:
             failures that may have executed the request (read-only
             operations).  Oneway sends are always treated as retryable.
         retry: the backoff schedule; ``None`` disables retries entirely.
+        retry_deadlines: also retry idempotent calls whose *per-attempt*
+            deadline expired (e.g. the request was dropped by a lossy
+            network).  Off by default: the historical semantics treat an
+            expired deadline as the call's whole budget being spent.
     """
 
     deadline: Optional[float] = None
     idempotent: bool = False
     retry: Optional[RetryPolicy] = RetryPolicy()
+    retry_deadlines: bool = False
 
     def but(self, **changes):
         """A copy with *changes* applied."""
@@ -73,6 +78,12 @@ class ServeOptions:
             tracing for the process).
         metrics_port: serve Prometheus metrics on this port (0 picks a
             free port; None disables the endpoint).
+        max_pending: asyncio-server overload bound — when all
+            *max_concurrency* slots are busy, at most this many further
+            requests wait; beyond it requests are shed with a protocol
+            error reply (None queues unboundedly via backpressure).
+        fault_plan: path to a :class:`repro.faults.FaultPlan` JSON file
+            applied to inbound requests (chaos testing).
     """
 
     host: str = "127.0.0.1"
@@ -84,3 +95,5 @@ class ServeOptions:
     drain_timeout: float = 5.0
     trace_path: Optional[str] = None
     metrics_port: Optional[int] = None
+    max_pending: Optional[int] = None
+    fault_plan: Optional[str] = None

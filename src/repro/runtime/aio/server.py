@@ -32,7 +32,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.encoding.buffer import MarshalBuffer
-from repro.errors import RuntimeFlickError, TransportError
+from repro.errors import OverloadError, RuntimeFlickError, TransportError
 from repro.obs import propagation, trace
 from repro.runtime.framing import MAX_RECORD_SIZE, RecordDecoder, \
     encode_record
@@ -88,12 +88,24 @@ class AioTcpServer:
             stats (see :func:`repro.runtime.server.operation_names`).
         drain_timeout: seconds granted to in-flight requests at shutdown.
         max_record_size: per-record framing limit.
+        error_encoder: the stub module's ``encode_error_reply(request,
+            error, buffer)``.  When present, malformed requests and
+            servant crashes are answered with protocol-correct error
+            replies instead of dropping the connection; without it the
+            historical close-on-error behaviour is kept.
+        max_pending: overload bound — when all *max_concurrency* slots
+            are busy, at most this many further requests wait for one;
+            beyond that requests are shed with a protocol error reply
+            (``None`` queues unboundedly via backpressure).
+        fault_plan: an optional :class:`repro.faults.FaultPlan` applied
+            to inbound requests (chaos testing of this server's clients).
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
                  max_concurrency=64, dispatch_mode="thread", stats=None,
                  op_names=None, drain_timeout=5.0,
-                 max_record_size=MAX_RECORD_SIZE):
+                 max_record_size=MAX_RECORD_SIZE, error_encoder=None,
+                 max_pending=None, fault_plan=None):
         if dispatch_mode not in ("thread", "inline"):
             raise ValueError(
                 "dispatch_mode must be 'thread' or 'inline', not %r"
@@ -109,6 +121,11 @@ class AioTcpServer:
         self._op_names = op_names or {}
         self.drain_timeout = drain_timeout
         self.max_record_size = max_record_size
+        self.error_encoder = error_encoder
+        self.max_pending = max_pending
+        self.fault_plan = fault_plan
+        self._injector = None
+        self._pending_waiters = 0
         self.address = None
         # Async state (valid between start_async and aclose).
         self._server = None
@@ -131,6 +148,9 @@ class AioTcpServer:
         """Bind and start accepting; returns self."""
         self._loop = asyncio.get_running_loop()
         self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._pending_waiters = 0
+        if self.fault_plan is not None:
+            self._injector = self.fault_plan.injector()
         if self.dispatch_mode == "thread":
             self._executor = ThreadPoolExecutor(
                 max_workers=self.max_concurrency,
@@ -192,18 +212,11 @@ class AioTcpServer:
                 try:
                     records = connection.decoder.feed(data)
                 except TransportError:
+                    if self.stats is not None:
+                        self.stats.malformed.inc()
                     break  # framing lost sync; drop the connection
-                for record in records:
-                    # Backpressure: block here (stopping further reads)
-                    # until an in-flight slot frees up.
-                    await self._semaphore.acquire()
-                    task = self._loop.create_task(
-                        self._serve_request(connection, record)
-                    )
-                    connection.tasks.add(task)
-                    self._tasks.add(task)
-                    task.add_done_callback(connection.tasks.discard)
-                    task.add_done_callback(self._tasks.discard)
+                if not await self._admit_records(connection, records):
+                    break  # injected connection reset
             # Half-close: the peer may still be waiting on in-flight
             # replies after shutting down its write side.
             if connection.tasks:
@@ -213,6 +226,94 @@ class AioTcpServer:
         finally:
             self._connections.discard(connection)
             writer.close()
+
+    async def _admit_records(self, connection, records):
+        """Run fault injection and overload shedding, then start tasks.
+
+        Returns False when an injected fault calls for a connection
+        reset (the caller drops the connection).
+        """
+        injector = self._injector
+        for record in records:
+            if injector is not None:
+                outcome = injector.on_message(record)
+                if outcome.reset:
+                    return False
+                deliveries = outcome.deliveries
+            else:
+                deliveries = ((record, 0.0),)
+            for delivery in deliveries:
+                if injector is not None:
+                    payload, delay_s = delivery.payload, delivery.delay_s
+                else:
+                    payload, delay_s = delivery
+                if delay_s:
+                    await asyncio.sleep(delay_s)
+                if not await self._admit_one(connection, payload):
+                    continue  # shed; answered with an overload reply
+        return True
+
+    async def _admit_one(self, connection, record):
+        """Shed or admit one record; admitted records become tasks."""
+        if (self.max_pending is not None
+                and self._semaphore.locked()
+                and self._pending_waiters >= self.max_pending):
+            if self.stats is not None:
+                self.stats.shed.inc()
+            buffer = connection.take_buffer()
+            try:
+                await self._send_error_reply(
+                    connection, record,
+                    OverloadError("server overloaded; try again"),
+                    buffer, close_on_failure=False,
+                )
+            finally:
+                connection.give_buffer(buffer)
+            return False
+        # Backpressure: block here (stopping further reads) until an
+        # in-flight slot frees up.
+        self._pending_waiters += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._pending_waiters -= 1
+        task = self._loop.create_task(
+            self._serve_request(connection, record)
+        )
+        connection.tasks.add(task)
+        self._tasks.add(task)
+        task.add_done_callback(connection.tasks.discard)
+        task.add_done_callback(self._tasks.discard)
+        return True
+
+    async def _send_error_reply(self, connection, record, error, buffer,
+                                close_on_failure=True):
+        """Answer *record* with a protocol error reply for *error*.
+
+        Falls back to closing the connection (the pre-hardening
+        behaviour) when no encoder is configured, the request is too
+        damaged to answer (the encoder returns False — e.g. a oneway or
+        an unparseable header), or encoding itself fails.
+        """
+        buffer.reset()
+        encoded = False
+        if self.error_encoder is not None:
+            try:
+                encoded = self.error_encoder(record, error, buffer)
+            except Exception:  # a buggy encoder must not kill the loop
+                encoded = False
+        if not encoded:
+            if close_on_failure:
+                connection.writer.close()
+            return False
+        try:
+            payload = encode_record(buffer.view())
+            async with connection.write_lock:
+                connection.writer.write(payload)
+                await connection.writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
 
     async def _serve_request(self, connection, record):
         tracer = trace.active()
@@ -263,11 +364,33 @@ class AioTcpServer:
                         has_reply = self._dispatch(
                             record, self._impl, buffer
                         )
-            except RuntimeFlickError:
-                # Malformed request or dispatch failure: the blocking
-                # server drops the connection here; do the same (any
-                # pipelined peers see a transport error, not a hang).
+            except RuntimeFlickError as exc:
+                # Malformed or unsupported request.  The wire stayed in
+                # sync (framing delivered a whole record), so answer
+                # with a protocol error reply and keep serving the
+                # connection; pipelined peers are unaffected.
                 error = True
+                if self.stats is not None:
+                    self.stats.malformed.inc()
+                if span is not None:
+                    span.set(error=type(exc).__name__)
+                await self._send_error_reply(connection, record, exc,
+                                             buffer)
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # The servant itself crashed: an implementation bug, not
+                # wire damage.  Report it as a system error and close
+                # the connection — its state is suspect.
+                error = True
+                if self.stats is not None:
+                    self.stats.servant_errors.inc()
+                if span is not None:
+                    span.set(error=type(exc).__name__,
+                             error_detail=str(exc))
+                await self._send_error_reply(connection, record, exc,
+                                             buffer)
                 connection.writer.close()
                 return
             if has_reply:

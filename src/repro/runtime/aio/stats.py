@@ -60,6 +60,20 @@ class ServerStats:
             "flick_server_latency_seconds",
             "Request service time (read to reply written)", ("op",),
         )
+        # Wire-hardening counters (unlabelled: these fire before or
+        # outside per-operation accounting).
+        self.malformed = self.registry.counter(
+            "flick_server_malformed_frames_total",
+            "Frames rejected as malformed, answered with protocol errors",
+        )
+        self.shed = self.registry.counter(
+            "flick_server_shed_total",
+            "Requests shed by overload protection",
+        )
+        self.servant_errors = self.registry.counter(
+            "flick_server_servant_errors_total",
+            "Dispatches that raised an unexpected implementation error",
+        )
 
     def record(self, op_key, seconds, error=False):
         op = _label(op_key)
@@ -163,6 +177,26 @@ class ClientStats:
         self.in_flight = self.registry.gauge(
             "flick_client_in_flight_requests",
             "Requests awaiting replies across the pool",
+        )
+        self.wire_format_errors = self.registry.counter(
+            "flick_client_wire_format_errors_total",
+            "Replies rejected as malformed (never retried)",
+        )
+        self.remote_errors = self.registry.counter(
+            "flick_client_remote_errors_total",
+            "Protocol-level error replies received from servers",
+        )
+        self.breaker_state = self.registry.gauge(
+            "flick_client_breaker_state",
+            "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+        )
+        self.breaker_opens = self.registry.counter(
+            "flick_client_breaker_opens_total",
+            "Times the circuit breaker tripped open",
+        )
+        self.breaker_rejections = self.registry.counter(
+            "flick_client_breaker_rejections_total",
+            "Calls refused instantly by an open breaker",
         )
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.errors import TransportError
+from repro.errors import WireFormatError
 
 #: High bit of the record-marking word: this fragment is the last one.
 LAST_FRAGMENT = 0x80000000
@@ -66,8 +66,9 @@ class RecordDecoder:
 
     Feed arbitrary byte chunks; complete records come back in order.  The
     decoder enforces :data:`MAX_RECORD_SIZE` and
-    :data:`MAX_FRAGMENTS_PER_RECORD`, raising :class:`TransportError` on
-    violation (the connection is then unusable — framing has lost sync).
+    :data:`MAX_FRAGMENTS_PER_RECORD`, raising :class:`WireFormatError`
+    (a :class:`~repro.errors.TransportError`) with the offending length on
+    violation — the connection is then unusable, framing has lost sync.
     """
 
     __slots__ = ("_buffer", "_fragments", "_record_size", "_fragment_count",
@@ -90,9 +91,12 @@ class RecordDecoder:
             (word,) = struct.unpack_from(">I", self._buffer, 0)
             length = word & ~LAST_FRAGMENT
             if self._record_size + length > self.max_record_size:
-                raise TransportError(
+                raise WireFormatError(
                     "record of %d+ bytes exceeds the %d-byte limit"
-                    % (self._record_size + length, self.max_record_size)
+                    % (self._record_size + length, self.max_record_size),
+                    field="record_size",
+                    limit=self.max_record_size,
+                    actual=self._record_size + length,
                 )
             if len(self._buffer) < HEADER_SIZE + length:
                 return records
@@ -107,9 +111,12 @@ class RecordDecoder:
                 self._record_size = 0
                 self._fragment_count = 0
             elif self._fragment_count >= MAX_FRAGMENTS_PER_RECORD:
-                raise TransportError(
+                raise WireFormatError(
                     "record spread over more than %d fragments"
-                    % MAX_FRAGMENTS_PER_RECORD
+                    % MAX_FRAGMENTS_PER_RECORD,
+                    field="fragment_count",
+                    limit=MAX_FRAGMENTS_PER_RECORD,
+                    actual=self._fragment_count,
                 )
 
     @property

@@ -36,12 +36,33 @@ class StubServer:
         self.impl = impl
         self._buffer = MarshalBuffer()
 
+    @property
+    def error_encoder(self):
+        """The stub module's ``encode_error_reply`` (None on old stubs)."""
+        return getattr(self.module, "encode_error_reply", None)
+
     def serve_bytes(self, request):
-        """Serve one raw request; returns reply bytes or None (oneway)."""
+        """Serve one raw request; returns reply bytes or None (oneway).
+
+        Mirrors what the socket servers do on failures: dispatch errors
+        are answered with a protocol-correct error reply when the stub
+        module provides ``encode_error_reply``.  The exception is
+        re-raised only when no reply can be built (no encoder, a oneway
+        request, or an unparseable header) — the in-process equivalent
+        of dropping the connection.
+        """
         self._buffer.reset()
-        if self.module.dispatch(request, self.impl, self._buffer):
-            return self._buffer.getvalue()
-        return None
+        try:
+            if self.module.dispatch(request, self.impl, self._buffer):
+                return self._buffer.getvalue()
+            return None
+        except Exception as error:
+            encoder = self.error_encoder
+            if encoder is not None:
+                self._buffer.reset()
+                if encoder(request, error, self._buffer):
+                    return self._buffer.getvalue()
+            raise
 
     def loopback_transport(self):
         """An in-process transport bound to this servant."""
@@ -55,12 +76,14 @@ class StubServer:
         human-readable operation names resolved from the stub module.
         """
         kwargs.setdefault("op_names", operation_names(self.module))
+        kwargs.setdefault("error_encoder", self.error_encoder)
         return TcpServer(
             self.module.dispatch, self.impl, host, port, **kwargs
         )
 
     def udp_server(self, host="127.0.0.1", port=0, **kwargs):
         kwargs.setdefault("op_names", operation_names(self.module))
+        kwargs.setdefault("error_encoder", self.error_encoder)
         return UdpServer(
             self.module.dispatch, self.impl, host, port, **kwargs
         )
@@ -75,6 +98,7 @@ class StubServer:
         from repro.runtime.aio import AioTcpServer
 
         kwargs.setdefault("op_names", operation_names(self.module))
+        kwargs.setdefault("error_encoder", self.error_encoder)
         return AioTcpServer(
             self.module.dispatch, self.impl, host, port, **kwargs
         )

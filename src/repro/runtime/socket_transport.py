@@ -17,7 +17,12 @@ import struct
 import threading
 import time
 
-from repro.errors import TransportError
+from repro.errors import (
+    OverloadError,
+    RuntimeFlickError,
+    TransportError,
+    WireFormatError,
+)
 from repro.encoding.buffer import MarshalBuffer
 from repro.obs import propagation, trace
 from repro.runtime.framing import (
@@ -96,17 +101,20 @@ def _recv_record(sock, max_record_size=MAX_RECORD_SIZE):
         length = word & ~LAST_FRAGMENT
         total += length
         if total > max_record_size:
-            raise TransportError(
+            raise WireFormatError(
                 "record of %d+ bytes exceeds the %d-byte limit"
-                % (total, max_record_size)
+                % (total, max_record_size),
+                field="record_size", limit=max_record_size, actual=total,
             )
         fragments.append(_recv_exact(sock, length, "record body"))
         if word & LAST_FRAGMENT:
             return b"".join(fragments)
         if len(fragments) >= MAX_FRAGMENTS_PER_RECORD:
-            raise TransportError(
+            raise WireFormatError(
                 "record spread over more than %d fragments"
-                % MAX_FRAGMENTS_PER_RECORD
+                % MAX_FRAGMENTS_PER_RECORD,
+                field="fragment_count", limit=MAX_FRAGMENTS_PER_RECORD,
+                actual=len(fragments),
             )
 
 
@@ -152,14 +160,23 @@ class TcpServer:
     *stats* (an optional :class:`~repro.runtime.aio.stats.ServerStats`)
     records one observation per request, the same way the asyncio server
     does; *op_names* maps demux keys to display names for it.
+
+    *error_encoder* (the stub module's ``encode_error_reply``) turns
+    malformed requests and servant crashes into protocol error replies;
+    without it both drop the connection (the historical behaviour).
+    *fault_plan* (a :class:`repro.faults.FaultPlan`) injects faults into
+    inbound requests for chaos testing.
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
-                 stats=None, op_names=None):
+                 stats=None, op_names=None, error_encoder=None,
+                 fault_plan=None):
         self._dispatch = dispatch
         self._impl = impl
         self.stats = stats
         self._op_names = op_names or {}
+        self._error_encoder = error_encoder
+        self._fault_plan = fault_plan
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -200,14 +217,36 @@ class TcpServer:
 
     def _serve_connection(self, connection):
         buffer = MarshalBuffer()
+        injector = (
+            self._fault_plan.injector() if self._fault_plan is not None
+            else None
+        )
         try:
             connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while True:
                 try:
                     request = _recv_record(connection)
+                except WireFormatError:
+                    # Framing lost sync: nothing downstream can be
+                    # trusted, so the only safe answer is a close.
+                    if self.stats is not None:
+                        self.stats.malformed.inc()
+                    return
                 except TransportError:
                     return
-                self._serve_request(connection, request, buffer)
+                if injector is None:
+                    if not self._serve_request(connection, request, buffer):
+                        return
+                    continue
+                outcome = injector.on_message(request)
+                if outcome.reset:
+                    return
+                for delivery in outcome.deliveries:
+                    if delivery.delay_s:
+                        time.sleep(delivery.delay_s)
+                    if not self._serve_request(
+                            connection, delivery.payload, buffer):
+                        return
         except OSError:
             pass
         finally:
@@ -216,6 +255,12 @@ class TcpServer:
             connection.close()
 
     def _serve_request(self, connection, request, buffer):
+        """Serve one framed request.
+
+        Returns True to keep serving the connection; False when it must
+        be dropped (write failure, servant crash, or wire damage that
+        could not be answered with a protocol error reply).
+        """
         started = time.perf_counter()
         tracer = trace.active()
         op_key = None
@@ -227,7 +272,7 @@ class TcpServer:
                 buffer.reset()
                 if self._dispatch(request, self._impl, buffer):
                     _send_record(connection, buffer.view())
-                return
+                return True
             with tracer.span("server.request", op=str(op_key),
                              parent=propagation.extract(request)):
                 buffer.reset()
@@ -236,14 +281,43 @@ class TcpServer:
                 if has_reply:
                     with tracer.span("write"):
                         _send_record(connection, buffer.view())
-        except BaseException:
+            return True
+        except OSError:
             error = True
-            raise
+            return False
+        except RuntimeFlickError as exc:
+            # Malformed or unsupported request; the record framing is
+            # intact, so answer in-protocol and keep the connection.
+            error = True
+            if self.stats is not None:
+                self.stats.malformed.inc()
+            return self._reply_with_error(connection, request, exc, buffer)
+        except Exception as exc:
+            # The servant itself crashed: report a system error, then
+            # drop the connection — its state is suspect.
+            error = True
+            if self.stats is not None:
+                self.stats.servant_errors.inc()
+            self._reply_with_error(connection, request, exc, buffer)
+            return False
         finally:
             if self.stats is not None and op_key is not None:
                 self.stats.record(
                     op_key, time.perf_counter() - started, error=error
                 )
+
+    def _reply_with_error(self, connection, request, error, buffer):
+        """Send a protocol error reply; False when none can be built."""
+        if self._error_encoder is None:
+            return False
+        buffer.reset()
+        try:
+            if not self._error_encoder(request, error, buffer):
+                return False
+            _send_record(connection, buffer.view())
+            return True
+        except Exception:  # a failing encoder must not kill the worker
+            return False
 
     def stop(self, timeout=2.0):
         """Close the listener, unblock workers, and join all threads."""
@@ -310,15 +384,20 @@ class UdpClientTransport(Transport):
 class UdpServer:
     """A single-threaded UDP server around a generated dispatch.
 
-    Takes the same optional *stats*/*op_names* as :class:`TcpServer`.
+    Takes the same optional *stats*/*op_names*/*error_encoder* as
+    :class:`TcpServer`.  The serve loop never dies on a hostile
+    datagram: malformed requests and servant crashes are answered with
+    protocol error replies when an *error_encoder* is available and
+    silently dropped otherwise (matching UDP loss semantics).
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
-                 stats=None, op_names=None):
+                 stats=None, op_names=None, error_encoder=None):
         self._dispatch = dispatch
         self._impl = impl
         self.stats = stats
         self._op_names = op_names or {}
+        self._error_encoder = error_encoder
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))
         self.address = self._sock.getsockname()
@@ -356,14 +435,41 @@ class UdpServer:
                         error = True
                         continue
                     self._sock.sendto(reply, peer)
-            except BaseException:
+            except OSError:
                 error = True
-                raise
+            except RuntimeFlickError as exc:
+                error = True
+                if self.stats is not None:
+                    self.stats.malformed.inc()
+                self._reply_with_error(request, exc, buffer, peer)
+            except Exception as exc:
+                # A servant crash must not kill the single serve loop;
+                # answer with a system error (or drop, like UDP loss).
+                error = True
+                if self.stats is not None:
+                    self.stats.servant_errors.inc()
+                self._reply_with_error(request, exc, buffer, peer)
             finally:
                 if self.stats is not None and op_key is not None:
                     self.stats.record(
                         op_key, time.perf_counter() - started, error=error
                     )
+
+    def _reply_with_error(self, request, error, buffer, peer):
+        """Answer *peer* with a protocol error datagram, if possible."""
+        if self._error_encoder is None:
+            return False
+        buffer.reset()
+        try:
+            if not self._error_encoder(request, error, buffer):
+                return False
+            reply = buffer.getvalue()
+            if len(reply) > MAX_UDP_SIZE:
+                return False
+            self._sock.sendto(reply, peer)
+            return True
+        except Exception:  # never let the encoder kill the loop
+            return False
 
     def stop(self, timeout=2.0):
         self._running = False

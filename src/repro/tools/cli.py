@@ -144,6 +144,19 @@ def build_parser():
              " servants) or inline on the event loop (fastest)",
     )
     serve_parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="overload bound for the asyncio runtime: when all"
+             " --max-concurrency slots are busy, at most N further"
+             " requests wait; beyond that requests are shed with a"
+             " protocol error reply (default: queue unboundedly)",
+    )
+    serve_parser.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="inject faults into inbound requests per a FaultPlan JSON"
+             " file (chaos testing: drop/delay/duplicate/reorder/"
+             "truncate/corrupt/reset probabilities and a seed)",
+    )
+    serve_parser.add_argument(
         "--duration", type=float, default=None,
         help="serve for this many seconds, then exit (default: forever)",
     )
@@ -446,6 +459,7 @@ def command_serve(args):
         max_concurrency=args.max_concurrency,
         dispatch_mode=args.dispatch_mode, stats=args.stats,
         trace_path=args.trace, metrics_port=args.metrics_port,
+        max_pending=args.max_pending, fault_plan=args.fault_plan,
     )
     with open(args.input) as handle:
         text = handle.read()
@@ -458,17 +472,29 @@ def command_serve(args):
     if options.trace_path:
         obs.configure(obs.JsonlExporter(options.trace_path))
         obs.instrument_stub_module(stub_module)
+    fault_plan = None
+    if options.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(options.fault_plan)
     server_kwargs = {"stats": stats}
+    if fault_plan is not None:
+        server_kwargs["fault_plan"] = fault_plan
     if options.aio:
         server = stub_server.aio_server(
             options.host, options.port,
             max_concurrency=options.max_concurrency,
             dispatch_mode=options.dispatch_mode,
             drain_timeout=options.drain_timeout,
+            max_pending=options.max_pending,
             **server_kwargs,
         )
         runtime_name = "asyncio runtime, %s dispatch" % options.dispatch_mode
     else:
+        if options.max_pending is not None:
+            raise FlickError(
+                "--max-pending applies to the asyncio runtime; add --aio"
+            )
         server = stub_server.tcp_server(
             options.host, options.port, **server_kwargs
         )
@@ -485,6 +511,9 @@ def command_serve(args):
             )
             if options.trace_path:
                 print("tracing spans to %s" % options.trace_path,
+                      flush=True)
+            if fault_plan is not None:
+                print("fault plan active: %s" % options.fault_plan,
                       flush=True)
             if options.metrics_port is not None:
                 metrics_server = obs.MetricsHttpServer(

@@ -1,0 +1,341 @@
+"""Fuzz harness: hostile byte streams against the hardened servers.
+
+The invariant under test, everywhere: a server presented with arbitrary
+bytes either answers with a *protocol-valid* reply (usually an error
+reply — ONC RPC MSG_ACCEPTED/MSG_DENIED, GIOP Reply/MessageError) or
+refuses the frame cleanly — ``RuntimeFlickError`` from the in-process
+server, a clean close from the socket servers.  No uncaught exceptions,
+no hangs, and the server keeps serving well-formed requests afterwards.
+
+Volume: by default the random and mutation fuzzers push >= 50k frames
+through the two protocol dispatches combined (fast: the whole module
+runs in a few seconds).  Tune with::
+
+    FLICK_FUZZ_FRAMES=2000 FLICK_FUZZ_SEED=7 pytest tests/test_fuzz_wire.py
+
+Frames that fail are printed as hex so they can be added to the
+regression corpus in ``tests/corpus/`` (see its README).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+
+import pytest
+
+from repro.errors import RuntimeFlickError, TransportError
+from repro.runtime import StubServer
+from repro.runtime.framing import encode_record
+from repro.runtime.socket_transport import _recv_record
+
+from tests.conftest import MailImpl, compile_db, compile_mail
+
+FUZZ_SEED = int(os.environ.get("FLICK_FUZZ_SEED", "20260806"))
+
+#: Frames per fuzzer run; 4 runs (random/mutation x onc/giop) meet the
+#: >= 50k acceptance floor at the default.
+FUZZ_FRAMES = int(os.environ.get("FLICK_FUZZ_FRAMES", "13000"))
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class DbImpl:
+    """Reference servant for the DB test program."""
+
+    def lookup(self, name):
+        return (0, None)
+
+    def store(self, e):
+        return 1
+
+    def echo(self, data):
+        return bytes(data)
+
+    def rev(self, xs):
+        return list(xs)[::-1]
+
+
+@pytest.fixture(scope="module")
+def onc_module():
+    return compile_db().load_module()
+
+
+@pytest.fixture(scope="module")
+def iiop_module():
+    return compile_mail("iiop").load_module()
+
+
+def _make_server(protocol, onc_module, iiop_module):
+    if protocol == "onc":
+        return StubServer(onc_module, DbImpl())
+    return StubServer(iiop_module, MailImpl(iiop_module))
+
+
+def _capture_requests(module, calls):
+    """The raw request bytes each of *calls* puts on the wire."""
+
+    class Capture:
+        last = None
+
+        def call(self, request):
+            self.last = bytes(request)
+            raise TransportError("captured")
+
+        def send(self, request):
+            self.last = bytes(request)
+
+        def close(self):
+            pass
+
+    transport = Capture()
+    client_class = next(
+        getattr(module, name) for name in dir(module)
+        if name.endswith("Client")
+    )
+    client = client_class(transport)
+    requests = []
+    for operation, args in calls:
+        try:
+            getattr(client, operation)(*args)
+        except TransportError:
+            pass
+        requests.append(transport.last)
+    return requests
+
+
+def _seed_requests(protocol, onc_module, iiop_module):
+    if protocol == "onc":
+        return _capture_requests(onc_module, [
+            ("echo", (b"hello world",)),
+            ("rev", ([1, 2, 3, 4, 5],)),
+            ("lookup", ("a name",)),
+        ])
+    return _capture_requests(iiop_module, [
+        ("avg", ([1, 2, 3],)),
+        ("reverse", (b"abcdef",)),
+        ("ping", (7,)),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Reply validation: "protocol-valid" made precise.
+# ---------------------------------------------------------------------------
+
+def assert_valid_onc_reply(frame, reply):
+    """*reply* must be a well-formed RFC 1831 reply message."""
+    assert len(reply) >= 12, "reply shorter than an ONC reply header"
+    xid, mtype, reply_stat = struct.unpack_from(">III", reply, 0)
+    assert mtype == 1, "reply must carry msg_type REPLY"
+    assert reply_stat in (0, 1), "reply_stat must be ACCEPTED or DENIED"
+    if len(frame) >= 4:
+        assert xid == struct.unpack_from(">I", frame, 0)[0], \
+            "reply must echo the request XID"
+    if reply_stat == 0:
+        # MSG_ACCEPTED: opaque verifier, then an accept_stat.
+        flavor, length = struct.unpack_from(">II", reply, 12)
+        assert length <= 400
+        offset = 20 + length + (-length % 4)
+        (accept_stat,) = struct.unpack_from(">I", reply, offset)
+        assert accept_stat in (0, 1, 2, 3, 4, 5)
+        if accept_stat == 2:  # PROG_MISMATCH carries low/high versions
+            low, high = struct.unpack_from(">II", reply, offset + 4)
+            assert low <= high
+    else:
+        # MSG_DENIED: RPC_MISMATCH (with low/high) or AUTH_ERROR.
+        (reject_stat,) = struct.unpack_from(">I", reply, 12)
+        assert reject_stat in (0, 1)
+        if reject_stat == 0:
+            low, high = struct.unpack_from(">II", reply, 16)
+            assert low <= high
+
+
+def assert_valid_giop_reply(frame, reply):
+    """*reply* must be a well-formed GIOP Reply or MessageError."""
+    assert len(reply) >= 12, "reply shorter than a GIOP header"
+    assert reply[:4] == b"GIOP"
+    assert reply[4] == 1  # GIOP 1.x
+    message_type = reply[7]
+    assert message_type in (1, 6), "server answers Reply or MessageError"
+    order = "<" if reply[6] else ">"
+    (size,) = struct.unpack_from(order + "I", reply, 8)
+    assert size == len(reply) - 12, "declared size must match the body"
+
+
+VALIDATORS = {"onc": assert_valid_onc_reply, "giop": assert_valid_giop_reply}
+
+
+def drive(server, validator, frames):
+    """Feed *frames*; enforce the reply-or-clean-refusal invariant.
+
+    Returns (replied, refused) counts.  Any other exception is a finding:
+    the offending frame is printed as hex for the corpus.
+    """
+    replied = refused = 0
+    for frame in frames:
+        try:
+            reply = server.serve_bytes(frame)
+        except RuntimeFlickError:
+            refused += 1  # the clean-close path
+            continue
+        except Exception as error:
+            pytest.fail(
+                "uncaught %s: %s on frame %s"
+                % (type(error).__name__, error, bytes(frame).hex())
+            )
+        if reply is not None:
+            validator(frame, reply)
+            replied += 1
+        else:
+            refused += 1  # oneway or deliberately unanswered
+    return replied, refused
+
+
+def mutate(rng, seeds):
+    """One mutation of a random seed frame (truncate/flip/splice/...)."""
+    frame = bytearray(rng.choice(seeds))
+    choice = rng.randrange(6)
+    if choice == 0 and len(frame) > 1:  # truncate
+        del frame[rng.randrange(1, len(frame)):]
+    elif choice == 1:  # flip a random bit
+        index = rng.randrange(len(frame))
+        frame[index] ^= 1 << rng.randrange(8)
+    elif choice == 2:  # overwrite a word with an extreme value
+        index = rng.randrange(max(1, len(frame) - 3))
+        frame[index:index + 4] = struct.pack(
+            ">I", rng.choice((0, 1, 0x7FFFFFFF, 0xFFFFFFFF))
+        )
+    elif choice == 3:  # extend with random tail bytes
+        frame.extend(rng.randbytes(rng.randrange(1, 32)))
+    elif choice == 4:  # splice two seeds together
+        other = rng.choice(seeds)
+        cut = rng.randrange(1, len(frame))
+        frame = frame[:cut] + other[rng.randrange(len(other)):]
+    else:  # duplicate a slice in place
+        start = rng.randrange(len(frame))
+        end = min(len(frame), start + rng.randrange(1, 16))
+        frame[start:start] = frame[start:end]
+    return bytes(frame)
+
+
+@pytest.mark.parametrize("protocol", ["onc", "giop"])
+class TestFuzzInProcess:
+    def test_random_frames(self, protocol, onc_module, iiop_module):
+        """Pure random bytes: reply-or-refuse, nothing else."""
+        import random
+
+        rng = random.Random(FUZZ_SEED)
+        server = _make_server(protocol, onc_module, iiop_module)
+        frames = [
+            rng.randbytes(rng.randrange(0, 160))
+            for _ in range(FUZZ_FRAMES)
+        ]
+        replied, refused = drive(server, VALIDATORS[protocol], frames)
+        assert replied + refused == FUZZ_FRAMES
+
+    def test_mutated_frames(self, protocol, onc_module, iiop_module):
+        """Mutations of real requests — much deeper dispatch coverage."""
+        import random
+
+        rng = random.Random(FUZZ_SEED + 1)
+        server = _make_server(protocol, onc_module, iiop_module)
+        seeds = _seed_requests(protocol, onc_module, iiop_module)
+        frames = [mutate(rng, seeds) for _ in range(FUZZ_FRAMES)]
+        replied, refused = drive(server, VALIDATORS[protocol], frames)
+        assert replied + refused == FUZZ_FRAMES
+        # Mutated well-formed requests must overwhelmingly be answered
+        # in-protocol (a single flipped bit rarely breaks the header).
+        assert replied > FUZZ_FRAMES // 4
+
+    def test_server_survives_and_serves(self, protocol, onc_module,
+                                        iiop_module):
+        """After a fuzz barrage the same server still works."""
+        import random
+
+        rng = random.Random(FUZZ_SEED + 2)
+        server = _make_server(protocol, onc_module, iiop_module)
+        seeds = _seed_requests(protocol, onc_module, iiop_module)
+        drive(server, VALIDATORS[protocol],
+              [mutate(rng, seeds) for _ in range(2000)])
+        reply = server.serve_bytes(seeds[0])
+        assert reply is not None
+        VALIDATORS[protocol](seeds[0], reply)
+
+
+class TestCorpusReplay:
+    """Every committed hostile frame stays fixed (see corpus/README.md)."""
+
+    def _load(self, prefix):
+        frames = []
+        for name in sorted(os.listdir(CORPUS_DIR)):
+            if name.startswith(prefix) and name.endswith(".hex"):
+                with open(os.path.join(CORPUS_DIR, name)) as handle:
+                    frames.append((name, bytes.fromhex(handle.read().strip())))
+        assert frames, "corpus is missing for %r" % prefix
+        return frames
+
+    @pytest.mark.parametrize("protocol", ["onc", "giop"])
+    def test_replay(self, protocol, onc_module, iiop_module):
+        server = _make_server(protocol, onc_module, iiop_module)
+        seeds = _seed_requests(protocol, onc_module, iiop_module)
+        for name, frame in self._load(protocol + "_"):
+            try:
+                reply = server.serve_bytes(frame)
+            except RuntimeFlickError:
+                reply = None  # clean refusal
+            except Exception as error:
+                pytest.fail("corpus %s: uncaught %s: %s"
+                            % (name, type(error).__name__, error))
+            if reply is not None:
+                VALIDATORS[protocol](frame, reply)
+            # The frame must not poison the server for later requests.
+            good = server.serve_bytes(seeds[0])
+            assert good is not None, "server dead after corpus %s" % name
+
+
+# ---------------------------------------------------------------------------
+# Live sockets: reply or *clean close*, and the server survives.
+# ---------------------------------------------------------------------------
+
+def _exchange(address, frame, timeout=5.0):
+    """Send one framed record; returns ("reply", bytes) or ("close", None)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    try:
+        sock.sendall(encode_record(frame))
+        try:
+            return "reply", _recv_record(sock)
+        except TransportError:
+            return "close", None  # clean EOF — never a hang
+    finally:
+        sock.close()
+
+
+@pytest.mark.parametrize("runtime", ["blocking", "aio"])
+@pytest.mark.parametrize("protocol", ["onc", "giop"])
+class TestFuzzLiveTcp:
+    def test_hostile_frames_over_tcp(self, protocol, runtime, onc_module,
+                                     iiop_module):
+        """A modest barrage over real sockets: each hostile frame gets a
+        protocol-valid reply or a clean close, and a well-formed request
+        afterwards is still served."""
+        import random
+
+        rng = random.Random(FUZZ_SEED + 3)
+        stub_server = _make_server(protocol, onc_module, iiop_module)
+        # Two-way seeds only: a mutated oneway that still decodes is
+        # correctly served with *no* reply, which this socket-level
+        # prober cannot tell apart from a hang.
+        seeds = _seed_requests(protocol, onc_module, iiop_module)[:2]
+        hostile = [mutate(rng, seeds) for _ in range(60)]
+        hostile += [rng.randbytes(rng.randrange(1, 80)) for _ in range(20)]
+        server = (stub_server.tcp_server() if runtime == "blocking"
+                  else stub_server.aio_server())
+        with server:
+            for frame in hostile:
+                kind, reply = _exchange(server.address, frame)
+                if kind == "reply":
+                    VALIDATORS[protocol](frame, reply)
+            kind, reply = _exchange(server.address, seeds[0])
+            assert kind == "reply", "server no longer answers valid requests"
+            VALIDATORS[protocol](seeds[0], reply)
