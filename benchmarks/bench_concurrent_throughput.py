@@ -85,7 +85,7 @@ def _drive_pooled(address, clients, request, window):
     total = [0]
 
     async def main():
-        pool = ConnectionPool(*address, size=POOL_SIZE)
+        pool = ConnectionPool(*address, pool_size=POOL_SIZE)
         stop_at = time.perf_counter() + window
 
         async def worker():

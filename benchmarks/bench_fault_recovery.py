@@ -65,7 +65,7 @@ def _drive(address, request, client_stats):
 
     async def main():
         pool = ConnectionPool(
-            *address, size=POOL_SIZE, stats=client_stats,
+            *address, pool_size=POOL_SIZE, stats=client_stats,
             breaker=CircuitBreaker(failure_threshold=16,
                                    recovery_time=0.05),
             options=CallOptions(

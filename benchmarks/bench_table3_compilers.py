@@ -7,7 +7,7 @@ interface and serves a call.
 
 import pytest
 
-from repro import Flick
+from repro import api
 from repro.compilers import COMPILER_ATTRIBUTES, make_baseline
 from repro.runtime import LoopbackTransport
 from repro.workloads import BENCH_IDL_CORBA, BENCH_IDL_ONC, MIG_BENCH_IDL
@@ -17,14 +17,10 @@ from benchmarks.harness import print_table
 
 def build_all():
     """Build one working client per Table 3 row; returns row statuses."""
-    onc = Flick(frontend="oncrpc").compile(BENCH_IDL_ONC)
-    corba = Flick(frontend="corba", backend="iiop").compile(BENCH_IDL_CORBA)
-    onc_mach = Flick(frontend="oncrpc", backend="mach3").compile(
-        BENCH_IDL_ONC
-    )
-    from repro.mig import compile_mig_idl
-
-    mig_presc = compile_mig_idl(MIG_BENCH_IDL)
+    onc = api.compile(BENCH_IDL_ONC, "oncrpc")
+    corba = api.compile(BENCH_IDL_CORBA, "corba", backend="iiop")
+    onc_mach = api.compile(BENCH_IDL_ONC, "oncrpc", backend="mach3")
+    mig_presc = api.compile(MIG_BENCH_IDL, "mig").presc
 
     class _Impl:
         def __getattr__(self, _name):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 
-from repro import Flick
+from repro import api
 from repro.compilers import make_baseline
 from repro.encoding import MarshalBuffer
 from repro.runtime import SimulatedNetworkTransport
@@ -78,34 +78,26 @@ def compiled(name):
     if name in _cache:
         return _cache[name]
     if name == "flick-xdr":
-        result = Flick(frontend="oncrpc").compile(BENCH_IDL_ONC)
+        result = api.compile(BENCH_IDL_ONC, "oncrpc")
         module = result.load_module()
     elif name == "flick-iiop":
-        result = Flick(frontend="corba", backend="iiop").compile(
-            BENCH_IDL_CORBA
-        )
+        result = api.compile(BENCH_IDL_CORBA, "corba", backend="iiop")
         module = result.load_module()
     elif name == "flick-mach":
-        result = Flick(frontend="oncrpc", backend="mach3").compile(
-            BENCH_IDL_ONC
-        )
+        result = api.compile(BENCH_IDL_ONC, "oncrpc", backend="mach3")
         module = result.load_module()
     elif name in ("rpcgen", "powerrpc"):
-        base = Flick(frontend="oncrpc").compile(BENCH_IDL_ONC)
+        base = api.compile(BENCH_IDL_ONC, "oncrpc")
         stubs = make_baseline(name).generate(base.presc)
         result, module = base, stubs.load()
     elif name in ("orbeline", "ilu"):
-        base = Flick(frontend="corba", backend="iiop").compile(
-            BENCH_IDL_CORBA
-        )
+        base = api.compile(BENCH_IDL_CORBA, "corba", backend="iiop")
         stubs = make_baseline(name).generate(base.presc)
         result, module = base, stubs.load()
     elif name == "mig":
-        from repro.mig import compile_mig_idl
-
-        presc = compile_mig_idl(MIG_BENCH_IDL)
-        stubs = make_baseline("mig").generate(presc)
-        result, module = presc, stubs.load()
+        base = api.compile(MIG_BENCH_IDL, "mig")
+        stubs = make_baseline("mig").generate(base.presc)
+        result, module = base, stubs.load()
     else:
         raise KeyError(name)
     _cache[name] = (result, module)

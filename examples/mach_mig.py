@@ -9,10 +9,9 @@ interface with structures, while Flick's Mach 3 back end handles it from
 the same kernel transport.
 """
 
-from repro import Flick
+from repro import api
 from repro.compilers import make_baseline
 from repro.errors import BackEndError
-from repro.mig import compile_mig_idl
 from repro.runtime import MachIpcTransport
 
 NAME_SERVER = """
@@ -39,7 +38,7 @@ program RICHNAME {
 
 def main():
     # --- a classic Mach name server through the MIG front end ---------
-    presc = compile_mig_idl(NAME_SERVER)
+    presc = api.compile(NAME_SERVER, "mig").presc
     print("MIG subsystem %r, msgh_id base %d"
           % (presc.interface_name, presc.interface_code))
     module = make_baseline("mig").generate(presc).load()
@@ -75,7 +74,7 @@ def main():
           % (transport.simulated_seconds * 1e6))
 
     # --- the rigidity the paper criticizes ----------------------------
-    rich = Flick(frontend="oncrpc", backend="mach3").compile(RICH_IDL)
+    rich = api.compile(RICH_IDL, "oncrpc", backend="mach3")
     try:
         make_baseline("mig").generate(rich.presc)
         raise AssertionError("MIG should have refused the struct")

@@ -33,6 +33,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
 of the paper's tables and figures.
 """
 
+from repro.api import compile, compile_all, detect_lang
 from repro.core import CompileResult, Flick, OptFlags
 from repro.errors import (
     AoiValidationError,
@@ -57,6 +58,9 @@ __all__ = [
     "BackEndError",
     "CompileResult",
     "DeadlineError",
+    "compile",
+    "compile_all",
+    "detect_lang",
     "DispatchError",
     "Flick",
     "FlickError",

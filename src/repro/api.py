@@ -1,0 +1,185 @@
+"""The unified compile facade.
+
+One entry point for every IDL language Flick understands::
+
+    from repro import api
+
+    result = api.compile(open("mail.idl").read())          # auto-detect
+    result = api.compile(text, "oncrpc", backend="oncrpc-xdr")
+    module = result.load_module()
+
+Language selection is explicit (``lang=``), by file extension (pass the
+file name via ``name=``), or by content heuristics — MIG's ``subsystem``
+declarations, ONC RPC's ``program``/``version`` blocks, CORBA's
+``interface``/``module`` keywords.  The historical per-frontend entry
+points (``compile_corba_idl``, ``compile_oncrpc_idl``,
+``compile_mig_idl``) remain as thin deprecated shims over this module.
+
+MIG is the paper's conjoined front end: it produces PRES_C directly, so
+MIG results carry ``aoi=None`` — everything downstream of the
+presentation (``presc``, ``stubs``, ``load_module()``, timings) behaves
+identically across languages.
+"""
+
+from __future__ import annotations
+
+import re
+from time import perf_counter
+from typing import Dict, Optional
+
+from repro.errors import FlickError
+
+#: Recognized languages, in detection order.
+LANGS = ("mig", "oncrpc", "corba")
+
+#: File-extension hints (checked on the ``name=`` argument).
+SUFFIX_LANGS = {
+    ".idl": "corba",
+    ".x": "oncrpc",
+    ".defs": "mig",
+}
+
+#: The back end each conjoined/AOI-less language targets by default.
+_MIG_DEFAULT_BACKEND = "mach3"
+
+_MIG_PATTERN = re.compile(
+    r"^\s*subsystem\s+\w+", re.MULTILINE,
+)
+_ONCRPC_PATTERN = re.compile(
+    r"\b(?:program|version)\s+\w+\s*\{",
+)
+_CORBA_PATTERN = re.compile(
+    r"\b(?:interface|module)\s+\w+",
+)
+
+
+def detect_lang(text, name=None):
+    """Detect the IDL language of *text*: extension first, then content.
+
+    Raises :class:`FlickError` when nothing matches — callers should
+    then ask for an explicit ``lang=``.
+    """
+    if name:
+        for suffix, lang in SUFFIX_LANGS.items():
+            if str(name).endswith(suffix):
+                return lang
+    source = _strip_comments(text)
+    if _MIG_PATTERN.search(source):
+        return "mig"
+    if _ONCRPC_PATTERN.search(source):
+        return "oncrpc"
+    if _CORBA_PATTERN.search(source):
+        return "corba"
+    raise FlickError(
+        "cannot detect the IDL language (no subsystem/program/interface "
+        "declaration found); pass lang= one of %s" % (", ".join(LANGS))
+    )
+
+
+def _strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def _check_lang(lang):
+    if lang not in LANGS:
+        raise FlickError(
+            "unknown IDL language %r (have: %s)" % (lang, ", ".join(LANGS))
+        )
+    return lang
+
+
+def parse(text, lang=None, name="<idl>"):
+    """Front end only: return the validated AoiRoot for *text*.
+
+    MIG has no AOI (the front end is conjoined with its presentation);
+    parsing MIG through this function raises :class:`FlickError`.
+    """
+    from repro.core.compiler import FRONTENDS, _register_frontends
+
+    lang = _check_lang(lang or detect_lang(text, name))
+    if lang == "mig":
+        raise FlickError(
+            "MIG bypasses AOI (conjoined front end); use "
+            "api.compile(text, 'mig') for the full pipeline"
+        )
+    if not FRONTENDS:
+        _register_frontends()
+    return FRONTENDS[lang](text, name)
+
+
+def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
+            presentation=None, backend=None, **backend_options):
+    """Compile IDL *text* end to end; returns a CompileResult.
+
+    ``lang`` may be omitted (auto-detected from ``name``'s extension or
+    the text itself).  ``interface`` selects one interface when the file
+    defines several.  ``presentation``/``backend``/``flags`` override
+    the language defaults, exactly as :class:`repro.core.Flick` does.
+    """
+    from repro.core.compiler import Flick
+
+    lang = _check_lang(lang or detect_lang(text, name))
+    if lang == "mig":
+        return _compile_mig(
+            text, name=name, interface=interface, flags=flags,
+            backend=backend, **backend_options
+        )
+    flick = Flick(
+        frontend=lang, presentation=presentation, backend=backend,
+        flags=flags, **backend_options
+    )
+    return flick.compile(text, interface=interface, name=name)
+
+
+def compile_all(text, lang=None, *, flags=None, name="<idl>",
+                presentation=None, backend=None, **backend_options):
+    """Compile every interface in *text*; returns ``{name: result}``."""
+    from repro.core.compiler import Flick
+
+    lang = _check_lang(lang or detect_lang(text, name))
+    if lang == "mig":
+        result = _compile_mig(
+            text, name=name, interface=None, flags=flags,
+            backend=backend, **backend_options
+        )
+        return {result.presc.interface_name: result}
+    flick = Flick(
+        frontend=lang, presentation=presentation, backend=backend,
+        flags=flags, **backend_options
+    )
+    return flick.compile_all(text, name=name)
+
+
+def _compile_mig(text, *, name, interface, flags, backend,
+                 **backend_options):
+    from repro.backend import make_backend
+    from repro.core.compiler import CompileResult
+    from repro.core.options import OptFlags
+    from repro.mig.parser import parse_mig_idl
+    from repro.mig.to_presc import mig_to_presc
+
+    timings = {}
+    total_started = perf_counter()
+    phase_started = total_started
+    subsystem = parse_mig_idl(text, name)
+    timings["parse_s"] = perf_counter() - phase_started
+    phase_started = perf_counter()
+    presc = mig_to_presc(subsystem)
+    timings["present_s"] = perf_counter() - phase_started
+    if interface is not None and presc.interface_name != interface:
+        raise FlickError(
+            "MIG subsystem defines %r, not %r"
+            % (presc.interface_name, interface)
+        )
+    phase_started = perf_counter()
+    backend_instance = make_backend(
+        backend or _MIG_DEFAULT_BACKEND, **backend_options
+    )
+    stubs = backend_instance.generate(presc, flags or OptFlags())
+    timings["emit_s"] = perf_counter() - phase_started
+    timings["total_s"] = perf_counter() - total_started
+    return CompileResult(
+        aoi=None, interface=None, presc=presc, stubs=stubs,
+        timings=timings, frontend="mig",
+    )

@@ -1,0 +1,470 @@
+"""Directional wire-layout diff over PRES/MINT message trees.
+
+:func:`diff_message` walks a *sender* message tree and a *receiver*
+message tree in lockstep and asks one question: is every byte sequence a
+sender following its schema can produce decoded — to equivalent values —
+by the decoder the back ends generate from the receiver's schema?
+
+The walk happens over PRES nodes rather than bare MINT because the
+presentation pins down layout details MINT alone cannot (the paper's
+char-array ambiguity: a ``MintArray(MintChar)`` presented as a string
+carries a NUL under CDR, an element-wise char array does not), and
+because the generated decoders enforce *presentation* bounds
+(``UnmarshalError('... exceeds bound')``).  Every PRES node still carries
+its MINT; byte sizes and alignments come from the wire format's atom
+codecs, exactly as in :mod:`repro.mint.analysis`.
+
+The diff is directional and per wire format.  Asymmetries this encodes:
+
+* widened bounds are compatible sender->receiver but breaking in reverse;
+* added union arms are compatible only toward the schema that has them;
+* appended trailing fields are tolerated only where the receiver's
+  decoder ignores trailing bytes (request bodies; reply decoders call
+  ``_chk_end`` and reject them) — controlled by ``tolerate_trailing``.
+
+Static byte offsets are tracked while the preceding layout is fixed
+(atoms, fixed arrays of atoms) and become ``None`` after the first
+variable-size region; findings report the last known offset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.mint.analysis import StorageClass, analyze_storage
+from repro.pres import nodes as p
+from repro.compat.verdict import Finding, Verdict, worst
+
+
+def diff_message(sender_pres, receiver_pres, sender_presc, receiver_presc,
+                 wire_format, *, path="message", offset=0,
+                 tolerate_trailing=False):
+    """Diff one message; returns ``(verdict, findings)``.
+
+    ``sender_pres``/``receiver_pres`` are the message roots (a request
+    PresStruct or a reply PresUnion); ``offset`` is the static offset of
+    the body from the start of the message (the header template length).
+    ``tolerate_trailing`` marks channels whose decoder ignores bytes past
+    the last declared field (request bodies).
+    """
+    differ = _MessageDiffer(
+        sender_presc, receiver_presc, wire_format,
+        tolerate_trailing=tolerate_trailing,
+    )
+    differ.diff(sender_pres, receiver_pres, path, offset, root=True)
+    findings = tuple(differ.findings)
+    return worst(f.verdict for f in findings), findings
+
+
+class _MessageDiffer:
+    def __init__(self, sender_presc, receiver_presc, wire_format,
+                 tolerate_trailing=False):
+        self.s_presc = sender_presc
+        self.r_presc = receiver_presc
+        self.fmt = wire_format
+        self.tolerate_trailing = tolerate_trailing
+        self.findings: List[Finding] = []
+        self._walking = set()
+
+    # -- plumbing ------------------------------------------------------
+
+    def note(self, verdict, path, reason, offset=None):
+        self.findings.append(Finding(verdict, path, reason, offset))
+
+    def _resolve(self, pres, presc):
+        seen = 0
+        while isinstance(pres, p.PresRef):
+            pres = presc.pres_registry[pres.name]
+            seen += 1
+            if seen > 64:
+                break
+        return pres
+
+    def diff(self, sender, receiver, path, offset, root=False):
+        """Diff one node pair; returns the static offset after it."""
+        s_name = sender.name if isinstance(sender, p.PresRef) else None
+        r_name = receiver.name if isinstance(receiver, p.PresRef) else None
+        if s_name is not None or r_name is not None:
+            key = (s_name, r_name)
+            if key in self._walking:
+                # A reference cycle revisited: the pair already diffed on
+                # first expansion; recursing again cannot add information.
+                return None
+            self._walking.add(key)
+            try:
+                return self.diff(
+                    self._resolve(sender, self.s_presc),
+                    self._resolve(receiver, self.r_presc),
+                    path, offset,
+                )
+            finally:
+                self._walking.discard(key)
+        handler = self._handler(sender, receiver)
+        if handler is None:
+            self.note(
+                Verdict.BREAKING, path,
+                "node kind changed: sender %s vs receiver %s"
+                % (_kind(sender), _kind(receiver)),
+                offset,
+            )
+            return None
+        return handler(sender, receiver, path, offset, root)
+
+    def _handler(self, sender, receiver):
+        atoms = (p.PresDirect, p.PresEnum)
+        strings = (p.PresString, p.PresBytes)
+        if isinstance(sender, p.PresVoid) and isinstance(receiver, p.PresVoid):
+            return self._diff_void
+        if isinstance(sender, atoms) and isinstance(receiver, atoms):
+            return self._diff_atom
+        if isinstance(sender, strings) and isinstance(receiver, strings):
+            return self._diff_byte_run
+        if isinstance(sender, p.PresFixedArray) \
+                and isinstance(receiver, p.PresFixedArray):
+            return self._diff_fixed_array
+        if isinstance(sender, p.PresCountedArray) \
+                and isinstance(receiver, p.PresCountedArray):
+            return self._diff_counted_array
+        if isinstance(sender, p.PresOptPtr) \
+                and isinstance(receiver, p.PresOptPtr):
+            return self._diff_optional
+        if isinstance(sender, (p.PresStruct, p.PresException)) \
+                and isinstance(receiver, (p.PresStruct, p.PresException)):
+            return self._diff_struct
+        if isinstance(sender, p.PresUnion) \
+                and isinstance(receiver, p.PresUnion):
+            return self._diff_union
+        return None
+
+    def _advance_past(self, mint, offset):
+        """Static offset after a sender region, or None if variable."""
+        if offset is None:
+            return None
+        info = analyze_storage(mint, self.fmt, self.s_presc.mint_registry)
+        if info.storage_class is StorageClass.FIXED \
+                and info.min_size == info.max_size:
+            return offset + info.max_size
+        return None
+
+    # -- leaves --------------------------------------------------------
+
+    def _diff_void(self, sender, receiver, path, offset, root):
+        return offset
+
+    def _diff_atom(self, sender, receiver, path, offset, root):
+        s_codec = self.fmt.atom_codec(sender.mint)
+        r_codec = self.fmt.atom_codec(receiver.mint)
+        if offset is not None:
+            offset += -offset % s_codec.alignment
+        after = None if offset is None else offset + s_codec.size
+        if (s_codec.format, s_codec.size, s_codec.alignment) \
+                != (r_codec.format, r_codec.size, r_codec.alignment):
+            self.note(
+                Verdict.BREAKING, path,
+                "atom recoded: sender %s (%d bytes, align %d) vs "
+                "receiver %s (%d bytes, align %d) under %s"
+                % (s_codec.format, s_codec.size, s_codec.alignment,
+                   r_codec.format, r_codec.size, r_codec.alignment,
+                   self.fmt.name),
+                offset,
+            )
+            return None
+        if s_codec.conversion != r_codec.conversion:
+            if (s_codec.conversion, r_codec.conversion) == ("bool", "int"):
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "presented type widened bool -> int; layout unchanged",
+                    offset,
+                )
+            else:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "presented atom kind changed (%s -> %s): legal sender "
+                    "values misdecode or raise"
+                    % (s_codec.conversion, r_codec.conversion),
+                    offset,
+                )
+            return after
+        if isinstance(sender, p.PresEnum) and isinstance(receiver, p.PresEnum):
+            s_values = {value for _, value in sender.members}
+            r_values = {value for _, value in receiver.members}
+            if not s_values <= r_values:
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "enum members %s absent from receiver; their ordinals "
+                    "decode as raw integers"
+                    % sorted(s_values - r_values),
+                    offset,
+                )
+        return after
+
+    # -- byte runs (strings / opaque) ----------------------------------
+
+    def _byte_run_shape(self, pres):
+        """(kind, fixed_length, bound, nul) describing a byte run."""
+        if isinstance(pres, p.PresString):
+            nul = 1 if self.fmt.string_nul_terminated else 0
+            return ("str", None, pres.bound, nul)
+        return ("bytes", pres.fixed_length, pres.bound, 0)
+
+    def _diff_byte_run(self, sender, receiver, path, offset, root):
+        s_kind, s_fixed, s_bound, s_nul = self._byte_run_shape(sender)
+        r_kind, r_fixed, r_bound, r_nul = self._byte_run_shape(receiver)
+        after = self._advance_past(sender.mint, offset)
+        if (s_fixed is None) != (r_fixed is None):
+            self.note(
+                Verdict.BREAKING, path,
+                "byte run changed between fixed (no length header) and "
+                "counted (4-byte length header)",
+                offset,
+            )
+            return None
+        if s_fixed is not None:
+            if s_fixed != r_fixed:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "fixed opaque length changed %d -> %d; receiver "
+                    "rejects the mismatch" % (s_fixed, r_fixed),
+                    offset,
+                )
+                return None
+            return after
+        if s_nul != r_nul:
+            self.note(
+                Verdict.BREAKING, path,
+                "string <-> opaque under %s: the string carries a NUL "
+                "terminator the opaque layout lacks" % self.fmt.name,
+                offset,
+            )
+            return None
+        if s_kind != r_kind:
+            self.note(
+                Verdict.DECODE_COMPATIBLE, path,
+                "presented type changed %s -> %s; byte layout identical "
+                "under %s" % (s_kind, r_kind, self.fmt.name),
+                offset,
+            )
+        self._diff_bound(s_bound, r_bound, path, offset, "byte run")
+        return after
+
+    def _diff_bound(self, s_bound, r_bound, path, offset, what):
+        """Compare declared maximum lengths, receiver-enforced."""
+        if s_bound == r_bound:
+            return
+        if r_bound is None or (s_bound is not None and s_bound <= r_bound):
+            self.note(
+                Verdict.DECODE_COMPATIBLE, path,
+                "%s bound widened %s -> %s: every sender-legal length "
+                "stays within the receiver's check"
+                % (what, _bound_text(s_bound), _bound_text(r_bound)),
+                offset,
+            )
+            return
+        self.note(
+            Verdict.BREAKING, path,
+            "%s bound narrowed %s -> %s: the receiver's decoder raises "
+            "UnmarshalError beyond %s"
+            % (what, _bound_text(s_bound), _bound_text(r_bound),
+               _bound_text(r_bound)),
+            offset,
+        )
+
+    # -- arrays --------------------------------------------------------
+
+    def _diff_fixed_array(self, sender, receiver, path, offset, root):
+        after = self._advance_past(sender.mint, offset)
+        if sender.length != receiver.length:
+            self.note(
+                Verdict.BREAKING, path,
+                "fixed array length changed %d -> %d; every element after "
+                "the shorter length shifts" % (sender.length, receiver.length),
+                offset,
+            )
+            return None
+        element_offset = offset
+        header = self.fmt.array_header_size(sender.mint)
+        if element_offset is not None and header:
+            element_offset += -element_offset % \
+                self.fmt.array_header_alignment(sender.mint)
+            element_offset += header
+        self.diff(sender.element, receiver.element, path + "[*]",
+                  element_offset)
+        return after
+
+    def _diff_counted_array(self, sender, receiver, path, offset, root):
+        self._diff_bound(sender.bound, receiver.bound, path, offset, "array")
+        element_offset = None
+        if offset is not None:
+            element_offset = offset
+            element_offset += -element_offset % \
+                self.fmt.array_header_alignment(sender.mint)
+            element_offset += self.fmt.array_header_size(sender.mint)
+        self.diff(sender.element, receiver.element, path + "[*]",
+                  element_offset)
+        return self._advance_past(sender.mint, offset)
+
+    def _diff_optional(self, sender, receiver, path, offset, root):
+        element_offset = None
+        if offset is not None:
+            element_offset = offset
+            element_offset += -element_offset % \
+                self.fmt.array_header_alignment(sender.mint)
+            element_offset += self.fmt.array_header_size(sender.mint)
+        self.diff(sender.element, receiver.element, path + "*",
+                  element_offset)
+        return self._advance_past(sender.mint, offset)
+
+    # -- aggregates ----------------------------------------------------
+
+    def _diff_struct(self, sender, receiver, path, offset, root):
+        # Slots pair positionally: field order *is* the wire order, and a
+        # rename does not move a byte.
+        for s_field, r_field in zip(sender.fields, receiver.fields):
+            if s_field.name != r_field.name:
+                self.note(
+                    Verdict.WIRE_IDENTICAL,
+                    "%s.%s" % (path, s_field.name),
+                    "field renamed %r -> %r (wire-transparent)"
+                    % (s_field.name, r_field.name),
+                    offset,
+                )
+            offset = self.diff(
+                s_field.pres, r_field.pres,
+                "%s.%s" % (path, s_field.name), offset,
+            )
+        for r_field in receiver.fields[len(sender.fields):]:
+            self.note(
+                Verdict.BREAKING,
+                "%s.%s" % (path, r_field.name),
+                "receiver expects field %r the sender never marshals; its "
+                "decoder reads past the sender's last byte" % r_field.name,
+                offset,
+            )
+            offset = None
+        extra = sender.fields[len(receiver.fields):]
+        if extra:
+            names = [s_field.name for s_field in extra]
+            if root and self.tolerate_trailing:
+                self.note(
+                    Verdict.DECODE_COMPATIBLE,
+                    "%s.%s" % (path, names[0]),
+                    "sender appends trailing field(s) %s; the receiver's "
+                    "request decoder stops after its last declared "
+                    "argument and ignores trailing bytes" % names,
+                    offset,
+                )
+            else:
+                self.note(
+                    Verdict.BREAKING,
+                    "%s.%s" % (path, names[0]),
+                    "sender marshals extra field(s) %s the receiver does "
+                    "not expect; the receiver %s" % (
+                        names,
+                        "rejects trailing reply bytes"
+                        if root else "misreads every following byte",
+                    ),
+                    offset,
+                )
+            offset = None
+        return offset
+
+    # -- unions --------------------------------------------------------
+
+    def _diff_union(self, sender, receiver, path, offset, root):
+        after = self._advance_past(sender.mint, offset)
+        disc_after = self.diff(
+            sender.discriminator, receiver.discriminator,
+            path + ".disc", offset,
+        )
+        s_default = _default_arm(sender)
+        r_default = _default_arm(receiver)
+        r_by_label = {}
+        for arm in receiver.arms:
+            for label in arm.labels:
+                r_by_label[label] = arm
+        s_labels = set()
+        for arm in sender.arms:
+            s_labels.update(arm.labels)
+            for label in arm.labels:
+                arm_path = "%s[case %r]" % (path, label)
+                r_arm = r_by_label.get(label)
+                if r_arm is not None:
+                    self.diff(arm.pres, r_arm.pres, arm_path, disc_after)
+                elif r_default is not None:
+                    self.note(
+                        Verdict.DECODE_COMPATIBLE, arm_path,
+                        "receiver routes discriminator %r through its "
+                        "default arm" % (label,),
+                        disc_after,
+                    )
+                    self.diff(arm.pres, r_default.pres, arm_path, disc_after)
+                else:
+                    self.note(
+                        Verdict.BREAKING, arm_path,
+                        "receiver union has no arm and no default for "
+                        "discriminator %r; its decoder raises "
+                        "UnmarshalError" % (label,),
+                        disc_after,
+                    )
+        if s_default is not None:
+            arm_path = path + "[default]"
+            if r_default is None:
+                self.note(
+                    Verdict.BREAKING, arm_path,
+                    "sender keeps a default arm but the receiver union "
+                    "has none: any unlisted discriminator the sender "
+                    "emits is rejected (discriminator gap)",
+                    disc_after,
+                )
+            else:
+                self.diff(s_default.pres, r_default.pres, arm_path,
+                          disc_after)
+                # Labels the receiver names explicitly but the sender
+                # routes through its default: the payload must match the
+                # receiver's explicit arm, not its default.
+                for label, r_arm in sorted(
+                        r_by_label.items(), key=lambda item: repr(item[0])):
+                    if label in s_labels:
+                        continue
+                    marker = len(self.findings)
+                    self.diff(
+                        s_default.pres, r_arm.pres,
+                        "%s[case %r]" % (path, label), disc_after,
+                    )
+                    if len(self.findings) == marker:
+                        self.note(
+                            Verdict.DECODE_COMPATIBLE,
+                            "%s[case %r]" % (path, label),
+                            "receiver adds an explicit arm for %r (the "
+                            "sender reaches it through its default arm "
+                            "with an identical payload)" % (label,),
+                            disc_after,
+                        )
+        else:
+            added = sorted(
+                (label for label in r_by_label if label not in s_labels),
+                key=repr,
+            )
+            if added:
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "receiver adds union arm(s) for %s the sender never "
+                    "produces" % added,
+                    disc_after,
+                )
+        return after
+
+
+def _default_arm(union):
+    for arm in union.arms:
+        if arm.is_default:
+            return arm
+    return None
+
+
+def _bound_text(bound):
+    return "unbounded" if bound is None else str(bound)
+
+
+def _kind(pres):
+    return type(pres).__name__.replace("Pres", "").lower()

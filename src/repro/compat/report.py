@@ -1,0 +1,113 @@
+"""Rendering for ``flick diff`` / ``flick lint`` output.
+
+The JSON schemas here are stable and exercised by golden-file tests
+(``tests/test_compat.py``) and CI; see README "Schema evolution" for the
+documented shapes and exit codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.compat.lint import SEVERITIES
+from repro.compat.verdict import Verdict, worst
+
+
+def diff_report_json(diffs, old_name, new_name, lang=None):
+    """Build the ``flick diff --json`` document.
+
+    ``diffs`` is ``{protocol: InterfaceDiff}`` as returned by
+    :func:`repro.compat.ifacediff.diff_texts`.
+    """
+    overall = worst(diff.verdict for diff in diffs.values())
+    return {
+        "tool": "flick-diff",
+        "old": old_name,
+        "new": new_name,
+        "lang": lang,
+        "verdict": overall.value,
+        "protocols": {
+            protocol: diffs[protocol].to_json()
+            for protocol in sorted(diffs)
+        },
+    }
+
+
+def diff_report_text(diffs, old_name, new_name):
+    """Human-readable diff report."""
+    lines: List[str] = []
+    overall = worst(diff.verdict for diff in diffs.values())
+    lines.append("flick diff: %s -> %s" % (old_name, new_name))
+    for protocol in sorted(diffs):
+        diff = diffs[protocol]
+        lines.append("")
+        lines.append("[%s] %s" % (protocol, diff.verdict.value))
+        if diff.old_interface != diff.new_interface:
+            lines.append("  interface: %s -> %s"
+                         % (diff.old_interface, diff.new_interface))
+        for finding in diff.findings:
+            lines.append("  ! %s: %s" % (finding.path, finding.reason))
+        for operation in diff.operations:
+            lines.append("  %-24s %s"
+                         % (operation.operation, operation.verdict.value))
+            for finding in operation.findings:
+                lines.append("    ! %s" % finding.reason)
+            for channel in operation.channels:
+                if channel.verdict is Verdict.WIRE_IDENTICAL \
+                        and not channel.findings:
+                    continue
+                lines.append("    %-18s %s"
+                             % (channel.channel, channel.verdict.value))
+                for finding in channel.findings:
+                    where = finding.path
+                    if finding.offset is not None:
+                        where += " @%d" % finding.offset
+                    lines.append("      %s: %s" % (where, finding.reason))
+    lines.append("")
+    lines.append("verdict: %s" % overall.value)
+    return "\n".join(lines)
+
+
+def diff_exit_code(diffs):
+    """0 WIRE_IDENTICAL / 1 DECODE_COMPATIBLE / 2 BREAKING."""
+    overall = worst(diff.verdict for diff in diffs.values())
+    return {
+        Verdict.WIRE_IDENTICAL: 0,
+        Verdict.DECODE_COMPATIBLE: 1,
+        Verdict.BREAKING: 2,
+    }[overall]
+
+
+def lint_report_json(findings, file_name, lang=None, protocol=None):
+    severities = [finding.severity for finding in findings]
+    worst_severity = None
+    if severities:
+        worst_severity = max(severities, key=SEVERITIES.index)
+    return {
+        "tool": "flick-lint",
+        "file": file_name,
+        "lang": lang,
+        "protocol": protocol,
+        "worst": worst_severity,
+        "findings": [finding.to_json() for finding in findings],
+    }
+
+
+def lint_report_text(findings, file_name):
+    if not findings:
+        return "flick lint: %s: clean" % file_name
+    lines = ["flick lint: %s: %d finding(s)" % (file_name, len(findings))]
+    for finding in findings:
+        lines.append("  %-7s %s %s: %s" % (
+            finding.severity, finding.code, finding.path, finding.reason,
+        ))
+    return "\n".join(lines)
+
+
+def lint_exit_code(findings, fail_on="warning"):
+    """0 when no finding reaches *fail_on* severity, else 1."""
+    threshold = SEVERITIES.index(fail_on)
+    for finding in findings:
+        if SEVERITIES.index(finding.severity) >= threshold:
+            return 1
+    return 0

@@ -12,11 +12,22 @@ from repro.corba.to_aoi import corba_to_aoi
 
 
 def compile_corba_idl(text, name="<corba-idl>"):
-    """Parse CORBA IDL *text* and return a validated :class:`AoiRoot`."""
-    from repro.aoi import validate
+    """Parse CORBA IDL *text* and return a validated :class:`AoiRoot`.
 
-    specification = parse_corba_idl(text, name)
-    return validate(corba_to_aoi(specification, name=name))
+    .. deprecated::
+        Use :func:`repro.api.parse` (front end only) or
+        :func:`repro.api.compile` (full pipeline) instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "compile_corba_idl is deprecated; use repro.api.parse(text, "
+        "'corba') or repro.api.compile(text, 'corba')",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro import api
+
+    return api.parse(text, "corba", name=name)
 
 
 __all__ = ["parse_corba_idl", "corba_to_aoi", "compile_corba_idl"]

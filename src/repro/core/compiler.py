@@ -43,14 +43,12 @@ DEFAULT_BACKEND = {
 
 
 def _register_frontends():
+    # Compose the phase functions directly rather than going through the
+    # deprecated compile_*_idl shims, so driving the pipeline never warns.
     from repro.aoi import validate
-    from repro.corba import compile_corba_idl, corba_to_aoi, \
-        parse_corba_idl
-    from repro.oncrpc import compile_oncrpc_idl, oncrpc_to_aoi, \
-        parse_oncrpc_idl
+    from repro.corba import corba_to_aoi, parse_corba_idl
+    from repro.oncrpc import oncrpc_to_aoi, parse_oncrpc_idl
 
-    FRONTENDS["corba"] = compile_corba_idl
-    FRONTENDS["oncrpc"] = compile_oncrpc_idl
     FRONTEND_PHASES["corba"] = (
         parse_corba_idl,
         lambda spec, name: validate(corba_to_aoi(spec, name=name)),
@@ -59,6 +57,15 @@ def _register_frontends():
         parse_oncrpc_idl,
         lambda spec, name: validate(oncrpc_to_aoi(spec, name=name)),
     )
+    for frontend, (parse_fn, lower) in FRONTEND_PHASES.items():
+        FRONTENDS[frontend] = _fuse_phases(parse_fn, lower)
+
+
+def _fuse_phases(parse_fn, lower):
+    def fused(text, name="<idl>"):
+        return lower(parse_fn(text, name), name)
+
+    return fused
 
 
 @dataclass
@@ -71,6 +78,9 @@ class CompileResult:
     stubs: object  # GeneratedStubs
     #: Per-phase wall-clock seconds: parse, aoi, present, emit, total.
     timings: Optional[Dict[str, float]] = None
+    #: The front end that produced this result ("corba", "oncrpc", "mig");
+    #: None for results built before the unified api facade existed.
+    frontend: Optional[str] = None
 
     def load_module(self):
         return self.stubs.load()
@@ -171,7 +181,7 @@ class Flick:
         timings["total_s"] = perf_counter() - total_started
         return CompileResult(
             aoi=aoi_root, interface=picked, presc=presc, stubs=stubs,
-            timings=timings,
+            timings=timings, frontend=self.frontend,
         )
 
     def compile_all(self, idl_text, name="<idl>"):

@@ -20,7 +20,20 @@ from repro.mig.to_presc import mig_to_presc
 
 
 def compile_mig_idl(text, name="<mig-idl>"):
-    """Parse MIG *text* and return the PRES_C presentation directly."""
+    """Parse MIG *text* and return the PRES_C presentation directly.
+
+    .. deprecated::
+        Use :func:`repro.api.compile` — it runs the conjoined MIG
+        pipeline end to end and returns a CompileResult whose ``presc``
+        is this function's return value.
+    """
+    import warnings
+
+    warnings.warn(
+        "compile_mig_idl is deprecated; use repro.api.compile(text, "
+        "'mig') and read .presc from the result",
+        DeprecationWarning, stacklevel=2,
+    )
     subsystem = parse_mig_idl(text, name)
     return mig_to_presc(subsystem)
 

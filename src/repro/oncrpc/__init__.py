@@ -18,11 +18,22 @@ from repro.oncrpc.to_aoi import oncrpc_to_aoi
 
 
 def compile_oncrpc_idl(text, name="<oncrpc-idl>"):
-    """Parse ONC RPC IDL *text* and return a validated :class:`AoiRoot`."""
-    from repro.aoi import validate
+    """Parse ONC RPC IDL *text* and return a validated :class:`AoiRoot`.
 
-    specification = parse_oncrpc_idl(text, name)
-    return validate(oncrpc_to_aoi(specification, name=name))
+    .. deprecated::
+        Use :func:`repro.api.parse` (front end only) or
+        :func:`repro.api.compile` (full pipeline) instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "compile_oncrpc_idl is deprecated; use repro.api.parse(text, "
+        "'oncrpc') or repro.api.compile(text, 'oncrpc')",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro import api
+
+    return api.parse(text, "oncrpc", name=name)
 
 
 __all__ = ["parse_oncrpc_idl", "oncrpc_to_aoi", "compile_oncrpc_idl"]

@@ -229,18 +229,25 @@ class AioConnection:
 class ConnectionPool:
     """A pool of multiplexed connections with deadlines and retries.
 
-    Connections are created lazily up to *size*; each call goes to the
-    least-loaded live connection.  Failed connections are discarded and
-    re-established on demand.  ``connector`` is injectable for tests.
+    Connections are created lazily up to *pool_size*; each call goes to
+    the least-loaded live connection.  Failed connections are discarded
+    and re-established on demand.  ``connector`` is injectable for
+    tests.  The historical *size* keyword keeps working but warns.
     """
 
-    def __init__(self, host, port, *, size=4, connect_timeout=10.0,
+    def __init__(self, host, port, *, pool_size=None, connect_timeout=10.0,
                  options=None, connector=None,
                  max_record_size=MAX_RECORD_SIZE, stats=None,
-                 breaker=None):
+                 breaker=None, size=None):
+        from repro.runtime.deprecation import renamed_kwarg
+
+        pool_size = renamed_kwarg(
+            "ConnectionPool", "size", size, "pool_size", pool_size,
+            default=4,
+        )
         self.host = host
         self.port = port
-        self.size = max(1, size)
+        self.size = max(1, pool_size)
         self.connect_timeout = connect_timeout
         self.options = options or CallOptions()
         self._connector = connector or self._default_connector
@@ -252,6 +259,11 @@ class ConnectionPool:
         self.breaker = breaker
         if breaker is not None and stats is not None:
             breaker.bind_stats(stats)
+
+    @property
+    def pool_size(self):
+        """The connection cap (the canonical name for :attr:`size`)."""
+        return self.size
 
     async def _default_connector(self):
         return await AioConnection.open(
@@ -469,14 +481,21 @@ class AioClientTransport(Transport):
     """
 
     def __init__(self, host, port, *, pool_size=1, options=None,
-                 connect_timeout=10.0, loop_thread=None, stats=None,
-                 breaker=None):
+                 deadline=None, connect_timeout=10.0, loop_thread=None,
+                 stats=None, breaker=None,
+                 max_record_size=MAX_RECORD_SIZE):
         self._runner = loop_thread or _EventLoopThread.shared()
-        self._options = options or CallOptions()
+        options = options or CallOptions()
+        if deadline is not None:
+            # The common case deserves a direct spelling: a per-call
+            # deadline without constructing CallOptions by hand.
+            options = options.but(deadline=deadline)
+        self._options = options
         self.stats = stats
         self._pool = ConnectionPool(
-            host, port, size=pool_size, connect_timeout=connect_timeout,
-            options=self._options, stats=stats, breaker=breaker,
+            host, port, pool_size=pool_size,
+            connect_timeout=connect_timeout, options=self._options,
+            max_record_size=max_record_size, stats=stats, breaker=breaker,
         )
 
     # The Transport interface --------------------------------------------

@@ -1,0 +1,38 @@
+"""Deprecated-keyword plumbing shared by the runtime constructors.
+
+The runtime grew in stages and its constructors drifted: the blocking
+client transports called their read deadline ``timeout`` while the
+asyncio layer said ``deadline``/``connect_timeout``, and the connection
+pool said ``size`` where its sync facade said ``pool_size``.  The
+constructors now share one vocabulary (``deadline``, ``connect_timeout``,
+``pool_size``, ``max_record_size``, ``stats``, ``fault_plan``,
+``max_pending``); the old spellings keep working through
+:func:`renamed_kwarg` but warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def renamed_kwarg(owner, old_name, old_value, new_name, new_value,
+                  default=None):
+    """Resolve a renamed keyword argument.
+
+    *old_value* / *new_value* are the values actually passed (``None``
+    meaning "not given").  Passing the old name warns with a
+    :class:`DeprecationWarning`; passing both is an error.  Returns the
+    effective value, falling back to *default*.
+    """
+    if old_value is None:
+        return default if new_value is None else new_value
+    if new_value is not None:
+        raise TypeError(
+            "%s() got both %r and its deprecated alias %r"
+            % (owner, new_name, old_name)
+        )
+    warnings.warn(
+        "%s(%s=...) is deprecated; use %s=..." % (owner, old_name, new_name),
+        DeprecationWarning, stacklevel=3,
+    )
+    return old_value

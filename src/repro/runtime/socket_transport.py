@@ -32,6 +32,7 @@ from repro.runtime.framing import (
     MAX_RECORD_SIZE,
     encode_record,
 )
+from repro.runtime.deprecation import renamed_kwarg
 from repro.runtime.transport import Transport
 
 _LAST_FRAGMENT = LAST_FRAGMENT  # backward-compatible alias
@@ -129,10 +130,26 @@ def _check_udp_size(payload):
 
 
 class TcpClientTransport(Transport):
-    """A framed TCP connection to a :class:`TcpServer`."""
+    """A framed TCP connection to a :class:`TcpServer`.
 
-    def __init__(self, host, port, timeout=10.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    *deadline* bounds each blocking receive (and, unless
+    *connect_timeout* is given, the connect), in seconds — the same
+    vocabulary as :class:`~repro.runtime.aio.client.AioClientTransport`.
+    The historical *timeout* keyword keeps working but warns.
+    """
+
+    def __init__(self, host, port, timeout=None, *, deadline=None,
+                 connect_timeout=None):
+        deadline = renamed_kwarg(
+            "TcpClientTransport", "timeout", timeout, "deadline", deadline,
+            default=10.0,
+        )
+        if connect_timeout is None:
+            connect_timeout = deadline
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(deadline)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def call(self, request):
@@ -170,13 +187,14 @@ class TcpServer:
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
                  stats=None, op_names=None, error_encoder=None,
-                 fault_plan=None):
+                 fault_plan=None, max_record_size=MAX_RECORD_SIZE):
         self._dispatch = dispatch
         self._impl = impl
         self.stats = stats
         self._op_names = op_names or {}
         self._error_encoder = error_encoder
         self._fault_plan = fault_plan
+        self._max_record_size = max_record_size
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -225,7 +243,7 @@ class TcpServer:
             connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while True:
                 try:
-                    request = _recv_record(connection)
+                    request = _recv_record(connection, self._max_record_size)
                 except WireFormatError:
                     # Framing lost sync: nothing downstream can be
                     # trusted, so the only safe answer is a close.
@@ -360,11 +378,19 @@ class TcpServer:
 
 
 class UdpClientTransport(Transport):
-    """Datagram transport; one message per datagram, like ONC over UDP."""
+    """Datagram transport; one message per datagram, like ONC over UDP.
 
-    def __init__(self, host, port, timeout=10.0):
+    *deadline* bounds each blocking receive, in seconds; the historical
+    *timeout* keyword keeps working but warns.
+    """
+
+    def __init__(self, host, port, timeout=None, *, deadline=None):
+        deadline = renamed_kwarg(
+            "UdpClientTransport", "timeout", timeout, "deadline", deadline,
+            default=10.0,
+        )
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        self._sock.settimeout(timeout)
+        self._sock.settimeout(deadline)
         self._address = (host, port)
 
     def call(self, request):
@@ -384,20 +410,24 @@ class UdpClientTransport(Transport):
 class UdpServer:
     """A single-threaded UDP server around a generated dispatch.
 
-    Takes the same optional *stats*/*op_names*/*error_encoder* as
-    :class:`TcpServer`.  The serve loop never dies on a hostile
-    datagram: malformed requests and servant crashes are answered with
-    protocol error replies when an *error_encoder* is available and
-    silently dropped otherwise (matching UDP loss semantics).
+    Takes the same optional *stats*/*op_names*/*error_encoder*/
+    *fault_plan* as :class:`TcpServer`.  The serve loop never dies on a
+    hostile datagram: malformed requests and servant crashes are
+    answered with protocol error replies when an *error_encoder* is
+    available and silently dropped otherwise (matching UDP loss
+    semantics).  A fault plan's connection-reset outcome likewise
+    degrades to a drop — UDP has no connection to reset.
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
-                 stats=None, op_names=None, error_encoder=None):
+                 stats=None, op_names=None, error_encoder=None,
+                 fault_plan=None):
         self._dispatch = dispatch
         self._impl = impl
         self.stats = stats
         self._op_names = op_names or {}
         self._error_encoder = error_encoder
+        self._fault_plan = fault_plan
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))
         self.address = self._sock.getsockname()
@@ -413,6 +443,10 @@ class UdpServer:
 
     def _serve_loop(self):
         buffer = MarshalBuffer()
+        injector = (
+            self._fault_plan.injector() if self._fault_plan is not None
+            else None
+        )
         while self._running:
             try:
                 request, peer = self._sock.recvfrom(65536)
@@ -420,40 +454,52 @@ class UdpServer:
                 continue
             except OSError:
                 return
-            started = time.perf_counter()
-            op_key = _request_op_key(self.stats, self._op_names, request)
-            error = False
-            try:
-                buffer.reset()
-                if self._dispatch(request, self._impl, buffer):
-                    reply = buffer.getvalue()
-                    if len(reply) > MAX_UDP_SIZE:
-                        # An oversized reply cannot be sent as one
-                        # datagram; drop it rather than crash the serve
-                        # loop (the client's recv will time out,
-                        # mirroring UDP loss).
-                        error = True
-                        continue
-                    self._sock.sendto(reply, peer)
-            except OSError:
-                error = True
-            except RuntimeFlickError as exc:
-                error = True
-                if self.stats is not None:
-                    self.stats.malformed.inc()
-                self._reply_with_error(request, exc, buffer, peer)
-            except Exception as exc:
-                # A servant crash must not kill the single serve loop;
-                # answer with a system error (or drop, like UDP loss).
-                error = True
-                if self.stats is not None:
-                    self.stats.servant_errors.inc()
-                self._reply_with_error(request, exc, buffer, peer)
-            finally:
-                if self.stats is not None and op_key is not None:
-                    self.stats.record(
-                        op_key, time.perf_counter() - started, error=error
-                    )
+            if injector is None:
+                self._serve_datagram(request, peer, buffer)
+                continue
+            outcome = injector.on_message(request)
+            if outcome.reset:
+                continue  # no connection to reset; drop the datagram
+            for delivery in outcome.deliveries:
+                if delivery.delay_s:
+                    time.sleep(delivery.delay_s)
+                self._serve_datagram(delivery.payload, peer, buffer)
+
+    def _serve_datagram(self, request, peer, buffer):
+        started = time.perf_counter()
+        op_key = _request_op_key(self.stats, self._op_names, request)
+        error = False
+        try:
+            buffer.reset()
+            if self._dispatch(request, self._impl, buffer):
+                reply = buffer.getvalue()
+                if len(reply) > MAX_UDP_SIZE:
+                    # An oversized reply cannot be sent as one
+                    # datagram; drop it rather than crash the serve
+                    # loop (the client's recv will time out,
+                    # mirroring UDP loss).
+                    error = True
+                    return
+                self._sock.sendto(reply, peer)
+        except OSError:
+            error = True
+        except RuntimeFlickError as exc:
+            error = True
+            if self.stats is not None:
+                self.stats.malformed.inc()
+            self._reply_with_error(request, exc, buffer, peer)
+        except Exception as exc:
+            # A servant crash must not kill the single serve loop;
+            # answer with a system error (or drop, like UDP loss).
+            error = True
+            if self.stats is not None:
+                self.stats.servant_errors.inc()
+            self._reply_with_error(request, exc, buffer, peer)
+        finally:
+            if self.stats is not None and op_key is not None:
+                self.stats.record(
+                    op_key, time.perf_counter() - started, error=error
+                )
 
     def _reply_with_error(self, request, error, buffer, peer):
         """Answer *peer* with a protocol error datagram, if possible."""

@@ -8,7 +8,15 @@ presentation generator, and a back end, and get stubs out::
     flick compile arith.defs --frontend mig -o out/
     flick compile mail.idl --baseline rpcgen      # a comparator's stubs
     flick inspect mail.idl                        # storage/demux analyses
+    flick diff old.idl new.idl --json             # wire-compatibility diff
+    flick lint mail.x                             # schema-evolution lint
     flick list
+
+``flick diff`` exits 0 when every operation is WIRE_IDENTICAL, 1 when
+the worst verdict is DECODE_COMPATIBLE, 2 on BREAKING, and 3 on a
+compile or usage error.  ``flick lint`` exits 0 when no finding reaches
+the ``--fail-on`` severity (default: warning), 1 otherwise, and 3 on
+error.
 
 Output files are written as ``<interface>_<backend>.py``, ``...c``, and
 ``...h`` under the output directory (default: the current directory).
@@ -161,20 +169,69 @@ def build_parser():
         help="serve for this many seconds, then exit (default: forever)",
     )
 
+    diff_parser = sub.add_parser(
+        "diff",
+        help="classify the wire compatibility of two IDL versions",
+    )
+    diff_parser.add_argument("old", help="the currently deployed IDL file")
+    diff_parser.add_argument("new", help="the proposed IDL file")
+    diff_parser.add_argument(
+        "--lang", choices=("corba", "oncrpc", "mig"), default=None,
+        help="IDL language (default: detected per file)",
+    )
+    diff_parser.add_argument(
+        "--interface", default=None,
+        help="interface to diff (required if a file defines several)",
+    )
+    diff_parser.add_argument(
+        "--protocol", action="append", default=None,
+        metavar="BACKEND",
+        help="wire protocol to diff under (repeatable; default:"
+             " oncrpc-xdr and iiop, or mach3 for MIG)",
+    )
+    diff_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="flag schema-evolution hazards in an IDL file",
+    )
+    lint_parser.add_argument("input", help="IDL source file")
+    lint_parser.add_argument(
+        "--lang", choices=("corba", "oncrpc", "mig"), default=None,
+        help="IDL language (default: detected)",
+    )
+    lint_parser.add_argument("--interface", default=None)
+    lint_parser.add_argument(
+        "--protocol", default=None, metavar="BACKEND",
+        help="wire protocol to lint under (default: the language's own)",
+    )
+    lint_parser.add_argument(
+        "--fail-on", choices=("info", "warning", "error"),
+        default="warning",
+        help="lowest severity that makes the exit code nonzero",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+
     sub.add_parser("list", help="list front ends, presentations, back ends")
     return parser
 
 
-_SUFFIX_FRONTENDS = {
-    ".idl": "corba",
-    ".x": "oncrpc",
-    ".defs": "mig",
-}
+def _guess_frontend(path, text="", explicit=None):
+    """The IDL language for *path*: the explicit flag, then detection."""
+    if explicit:
+        return explicit
+    from repro import api
 
-
-def _guess_frontend(path):
-    _root, suffix = os.path.splitext(path)
-    return _SUFFIX_FRONTENDS.get(suffix, "corba")
+    try:
+        return api.detect_lang(text, name=path)
+    except FlickError:
+        return "corba"
 
 
 def _build_flags(args):
@@ -187,15 +244,6 @@ def _build_flags(args):
     return flags
 
 
-def _compile_mig(args, text):
-    from repro.backend import make_backend
-    from repro.mig import compile_mig_idl
-
-    presc = compile_mig_idl(text, args.input)
-    backend = make_backend(args.backend or "mach3")
-    return [backend.generate(presc, _build_flags(args))]
-
-
 def _apply_baseline(args, all_prescs):
     from repro.compilers import make_baseline
 
@@ -204,53 +252,41 @@ def _apply_baseline(args, all_prescs):
 
 
 def command_compile(args):
+    from repro import api
+
     with open(args.input) as handle:
         text = handle.read()
-    frontend = args.frontend or _guess_frontend(args.input)
-    timed_results = []
-    if frontend == "mig":
-        if args.baseline:
-            from repro.compilers import make_baseline
-            from repro.mig import compile_mig_idl
-
-            presc = compile_mig_idl(text, args.input)
-            all_stubs = [make_baseline(args.baseline).generate(presc)]
-        else:
-            all_stubs = _compile_mig(args, text)
+    lang = _guess_frontend(args.input, text, args.frontend)
+    backend_options = {}
+    if getattr(args, "little_endian", False):
+        if args.backend not in (None, "iiop"):
+            raise FlickError(
+                "--little-endian applies only to the iiop back end"
+            )
+        backend_options["little_endian"] = True
+    flags = _build_flags(args)
+    if args.interface or lang == "mig":
+        results = [api.compile(
+            text, lang, interface=args.interface, flags=flags,
+            name=args.input, presentation=args.pgen, backend=args.backend,
+            **backend_options,
+        )]
     else:
-        from repro.core import Flick
-
-        backend_options = {}
-        if getattr(args, "little_endian", False):
-            if args.backend not in (None, "iiop"):
-                raise FlickError(
-                    "--little-endian applies only to the iiop back end"
-                )
-            backend_options["little_endian"] = True
-        flick = Flick(
-            frontend=frontend,
-            presentation=args.pgen,
-            backend=args.backend,
-            flags=_build_flags(args),
+        by_name = api.compile_all(
+            text, lang, flags=flags, name=args.input,
+            presentation=args.pgen, backend=args.backend,
             **backend_options,
         )
-        if args.interface:
-            results = [
-                flick.compile(text, interface=args.interface,
-                              name=args.input)
-            ]
-        else:
-            by_name = flick.compile_all(text, name=args.input)
-            if not by_name:
-                raise FlickError("the input defines no interfaces")
-            results = list(by_name.values())
-        timed_results = results
-        if args.baseline:
-            all_stubs = _apply_baseline(
-                args, [result.presc for result in results]
-            )
-        else:
-            all_stubs = [result.stubs for result in results]
+        if not by_name:
+            raise FlickError("the input defines no interfaces")
+        results = list(by_name.values())
+    timed_results = results
+    if args.baseline:
+        all_stubs = _apply_baseline(
+            args, [result.presc for result in results]
+        )
+    else:
+        all_stubs = [result.stubs for result in results]
     emit = {kind.strip() for kind in args.emit.split(",") if kind.strip()}
     os.makedirs(args.output, exist_ok=True)
     if "c" in emit or "h" in emit:
@@ -289,8 +325,6 @@ def command_compile(args):
             )
         )
     if getattr(args, "timing", False):
-        if not timed_results:
-            print("timing: not available for the %s front end" % frontend)
         for result in timed_results:
             _print_timing(result)
     return 0
@@ -321,34 +355,28 @@ def _write(path, content, written):
 
 def command_inspect(args):
     """Explain the compiler's analyses for each operation."""
-    from repro.core import Flick
+    from repro import api
     from repro.mint.analysis import analyze_storage
     from repro.backend import make_backend
 
     with open(args.input) as handle:
         text = handle.read()
-    frontend = args.frontend or _guess_frontend(args.input)
-    if frontend == "mig":
-        from repro.mig import compile_mig_idl
-
-        prescs = [compile_mig_idl(text, args.input)]
-        backend_name = args.backend or "mach3"
+    lang = _guess_frontend(args.input, text, args.frontend)
+    if args.interface:
+        results = [api.compile(
+            text, lang, interface=args.interface, name=args.input,
+            presentation=args.pgen, backend=args.backend,
+        )]
     else:
-        flick = Flick(frontend=frontend, presentation=args.pgen,
-                      backend=args.backend)
-        backend_name = flick.backend
-        if args.interface:
-            prescs = [flick.present(flick.parse(text, args.input),
-                                    args.interface)]
-        else:
-            root = flick.parse(text, args.input)
-            prescs = [
-                flick.present(root, interface.name)
-                for interface in root.interfaces
-            ]
-    backend = make_backend(backend_name)
-    for presc in prescs:
-        stubs = backend.generate(presc)
+        results = list(api.compile_all(
+            text, lang, name=args.input, presentation=args.pgen,
+            backend=args.backend,
+        ).values())
+    for result in results:
+        presc = result.presc
+        stubs = result.stubs
+        backend_name = stubs.backend_name
+        backend = make_backend(backend_name)
         print("interface %s  (presentation %s, back end %s)"
               % (presc.interface_name, presc.presentation_style,
                  backend_name))
@@ -417,33 +445,38 @@ def _load_servant(spec, stub_module):
 
 
 def _compile_for_serving(args, text):
-    from repro.core import Flick
+    from repro import api
 
-    frontend = args.frontend or _guess_frontend(args.input)
-    if frontend == "mig":
+    lang = _guess_frontend(args.input, text, args.frontend)
+    if lang == "mig":
         raise FlickError(
             "serve carries TCP protocols only (iiop, oncrpc-xdr);"
             " MIG subsystems target kernel IPC"
         )
-    flick = Flick(frontend=frontend, presentation=args.pgen,
-                  backend=args.backend)
-    if flick.backend not in _SERVABLE_BACKENDS:
+    if args.interface:
+        result = api.compile(
+            text, lang, interface=args.interface, name=args.input,
+            presentation=args.pgen, backend=args.backend,
+        )
+    else:
+        by_name = api.compile_all(
+            text, lang, name=args.input, presentation=args.pgen,
+            backend=args.backend,
+        )
+        if not by_name:
+            raise FlickError("the input defines no interfaces")
+        if len(by_name) > 1:
+            raise FlickError(
+                "the input defines several interfaces (%s);"
+                " pick one with --interface" % ", ".join(sorted(by_name))
+            )
+        result = next(iter(by_name.values()))
+    if result.stubs.backend_name not in _SERVABLE_BACKENDS:
         raise FlickError(
             "serve supports the %s back ends, not %r"
-            % (" and ".join(_SERVABLE_BACKENDS), flick.backend)
+            % (" and ".join(_SERVABLE_BACKENDS), result.stubs.backend_name)
         )
-    if args.interface:
-        return flick.compile(text, interface=args.interface,
-                             name=args.input)
-    by_name = flick.compile_all(text, name=args.input)
-    if not by_name:
-        raise FlickError("the input defines no interfaces")
-    if len(by_name) > 1:
-        raise FlickError(
-            "the input defines several interfaces (%s);"
-            " pick one with --interface" % ", ".join(sorted(by_name))
-        )
-    return next(iter(by_name.values()))
+    return result
 
 
 def command_serve(args):
@@ -543,6 +576,78 @@ def command_serve(args):
     return 0
 
 
+def command_diff(args):
+    """Classify the wire compatibility of two IDL versions."""
+    import json
+
+    from repro import api
+    from repro.compat import diff_texts
+    from repro.compat.report import (
+        diff_exit_code,
+        diff_report_json,
+        diff_report_text,
+    )
+
+    with open(args.old) as handle:
+        old_text = handle.read()
+    with open(args.new) as handle:
+        new_text = handle.read()
+    lang = args.lang
+    if lang is None:
+        try:
+            lang = api.detect_lang(old_text, name=args.old)
+        except FlickError:
+            lang = None
+    if args.protocol:
+        protocols = tuple(args.protocol)
+    elif lang == "mig":
+        protocols = ("mach3",)
+    else:
+        from repro.compat.ifacediff import DEFAULT_PROTOCOLS
+
+        protocols = DEFAULT_PROTOCOLS
+    diffs = diff_texts(
+        old_text, new_text, lang, interface=args.interface,
+        protocols=protocols, old_name=args.old, new_name=args.new,
+    )
+    if args.json:
+        print(json.dumps(
+            diff_report_json(diffs, args.old, args.new, lang=lang),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(diff_report_text(diffs, args.old, args.new))
+    return diff_exit_code(diffs)
+
+
+def command_lint(args):
+    """Flag schema-evolution hazards in one IDL file."""
+    import json
+
+    from repro.compat.lint import lint_text
+    from repro.compat.report import (
+        lint_exit_code,
+        lint_report_json,
+        lint_report_text,
+    )
+
+    with open(args.input) as handle:
+        text = handle.read()
+    findings, protocol = lint_text(
+        text, args.lang, name=args.input, interface=args.interface,
+        backend=args.protocol,
+    )
+    if args.json:
+        print(json.dumps(
+            lint_report_json(findings, args.input, lang=args.lang,
+                             protocol=protocol),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(lint_report_text(findings, args.input))
+    return lint_exit_code(findings, fail_on=args.fail_on)
+
+
 def command_list(_args):
     from repro.backend import BACKENDS
     from repro.pgen import PRESENTATIONS
@@ -565,11 +670,16 @@ def main(argv=None):
             return command_inspect(args)
         if args.command == "serve":
             return command_serve(args)
+        if args.command == "diff":
+            return command_diff(args)
+        if args.command == "lint":
+            return command_lint(args)
         if args.command == "list":
             return command_list(args)
     except (FlickError, OSError) as error:
         print("flick: error: %s" % error, file=sys.stderr)
-        return 1
+        # diff/lint reserve 1 and 2 for verdicts; 3 means "did not run".
+        return 3 if args.command in ("diff", "lint") else 1
     return 0
 
 
