@@ -21,7 +21,7 @@ def run(budget=0.05):
     data = {}
     for label, flags in (
         ("on", OptFlags()),
-        ("off", OptFlags(batch_buffer_checks=False)),
+        ("off", OptFlags().disable_pass("batch_buffer_checks")),
     ):
         module = Flick(
             frontend="oncrpc", flags=flags

@@ -20,7 +20,7 @@ def run(budget=0.05):
     data = {}
     for label, flags in (
         ("on", OptFlags()),
-        ("off", OptFlags(chunk_atoms=False)),
+        ("off", OptFlags().disable_pass("chunk_atoms")),
     ):
         module = Flick(
             frontend="oncrpc", flags=flags

@@ -24,7 +24,7 @@ def run(budget=0.05):
     modules = {}
     for label, flags in (
         ("on", OptFlags()),
-        ("off", OptFlags(inline_marshal=False)),
+        ("off", OptFlags().disable_pass("inline_marshal")),
     ):
         modules[label] = Flick(
             frontend="oncrpc", flags=flags

@@ -20,7 +20,7 @@ def run(budget=0.05):
     data = {}
     for label, flags in (
         ("on", OptFlags()),
-        ("off", OptFlags(memcpy_arrays=False)),
+        ("off", OptFlags().disable_pass("memcpy_arrays")),
     ):
         module = Flick(
             frontend="oncrpc", flags=flags

@@ -109,13 +109,17 @@ def parse(text, lang=None, name="<idl>"):
 
 
 def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
-            presentation=None, backend=None, **backend_options):
+            presentation=None, backend=None, renderer="py",
+            **backend_options):
     """Compile IDL *text* end to end; returns a CompileResult.
 
     ``lang`` may be omitted (auto-detected from ``name``'s extension or
     the text itself).  ``interface`` selects one interface when the file
     defines several.  ``presentation``/``backend``/``flags`` override
     the language defaults, exactly as :class:`repro.core.Flick` does.
+    ``renderer`` selects how the optimized marshal IR becomes codecs:
+    ``"py"`` (rendered Python source, the default) or ``"closures"``
+    (closure codecs compiled straight from the IR at load time).
     """
     from repro.core.compiler import Flick
 
@@ -123,17 +127,18 @@ def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
     if lang == "mig":
         return _compile_mig(
             text, name=name, interface=interface, flags=flags,
-            backend=backend, **backend_options
+            backend=backend, renderer=renderer, **backend_options
         )
     flick = Flick(
         frontend=lang, presentation=presentation, backend=backend,
-        flags=flags, **backend_options
+        flags=flags, renderer=renderer, **backend_options
     )
     return flick.compile(text, interface=interface, name=name)
 
 
 def compile_all(text, lang=None, *, flags=None, name="<idl>",
-                presentation=None, backend=None, **backend_options):
+                presentation=None, backend=None, renderer="py",
+                **backend_options):
     """Compile every interface in *text*; returns ``{name: result}``."""
     from repro.core.compiler import Flick
 
@@ -141,17 +146,17 @@ def compile_all(text, lang=None, *, flags=None, name="<idl>",
     if lang == "mig":
         result = _compile_mig(
             text, name=name, interface=None, flags=flags,
-            backend=backend, **backend_options
+            backend=backend, renderer=renderer, **backend_options
         )
         return {result.presc.interface_name: result}
     flick = Flick(
         frontend=lang, presentation=presentation, backend=backend,
-        flags=flags, **backend_options
+        flags=flags, renderer=renderer, **backend_options
     )
     return flick.compile_all(text, name=name)
 
 
-def _compile_mig(text, *, name, interface, flags, backend,
+def _compile_mig(text, *, name, interface, flags, backend, renderer="py",
                  **backend_options):
     from repro.backend import make_backend
     from repro.core.compiler import CompileResult
@@ -176,7 +181,8 @@ def _compile_mig(text, *, name, interface, flags, backend,
     backend_instance = make_backend(
         backend or _MIG_DEFAULT_BACKEND, **backend_options
     )
-    stubs = backend_instance.generate(presc, flags or OptFlags())
+    stubs = backend_instance.generate(presc, flags or OptFlags(),
+                                      renderer=renderer)
     timings["emit_s"] = perf_counter() - phase_started
     timings["total_s"] = perf_counter() - total_started
     return CompileResult(

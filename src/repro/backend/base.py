@@ -1,16 +1,16 @@
 """The shared optimizing back-end library.
 
 This module assembles complete, executable Python stub modules from a
-PRES_C presentation: record and exception classes, request/reply marshal
-and unmarshal functions (generated by the emitters in
-:mod:`repro.backend.pyemit`), a client proxy class, a servant base class,
-and the server dispatch function with its demultiplexing table.
+PRES_C presentation: record and exception classes, the codec functions
+(lowered to marshal IR by :mod:`repro.mir` and rendered by the selected
+renderer), a client proxy class, a servant base class, and the server
+dispatch function with its demultiplexing table.
 
 Concrete back ends (ONC/XDR, IIOP, Mach 3, Fluke) subclass
 :class:`OptimizingBackEnd` and provide only protocol policy: header
 templates, dispatch-key extraction, and reply validation.  Everything else
-— including all of the section-3 optimizations — is inherited, mirroring
-the paper's Table 1.
+— including all of the section-3 optimizations, which run as MIR passes —
+is inherited, mirroring the paper's Table 1.
 
 Message headers use precomputed byte templates: all header fields that are
 static per operation (program numbers, operation names, object keys) are
@@ -23,23 +23,21 @@ maximizes chunking.
 from __future__ import annotations
 
 import hashlib
-import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import BackEndError
 from repro.core.options import OptFlags
 from repro.mint.analysis import analyze_storage
 from repro.pres import nodes as p
 from repro.backend.pywriter import PyWriter
-from repro.backend.pyemit import (
-    MarshalEmitter,
-    OutOfLineSet,
-    UnmarshalEmitter,
-    _EmitterBase,
-)
+from repro.mir import ops as mir_ops
+from repro.mir.lower import OutOfLineSet
 
-mangle = _EmitterBase.mangle
+mangle = mir_ops.mangle
+
+#: Renderers :meth:`OptimizingBackEnd.generate` accepts.
+RENDERERS = ("py", "closures", "c")
 
 
 @dataclass(frozen=True)
@@ -72,17 +70,29 @@ class GeneratedStubs:
     c_header: str
     metadata: Dict[str, object] = field(default_factory=dict)
     module_name: str = ""
+    renderer: str = "py"
+    mir: object = field(default=None, repr=False)
 
     _module = None
 
     def load(self):
-        """Exec the generated Python module (cached) and return it."""
+        """Exec the generated Python module (cached) and return it.
+
+        Under the ``closures`` renderer the module's codec functions are
+        then replaced in place by closure codecs compiled straight from
+        the optimized marshal IR (no source round-trip).
+        """
         if self._module is None:
             from repro.core.loader import load_stub_module
 
-            self._module = load_stub_module(
+            module = load_stub_module(
                 self.py_source, self.module_name or "flick_generated"
             )
+            if self.renderer == "closures":
+                from repro.mir.render_closures import install_closures
+
+                install_closures(module, self.mir)
+            self._module = module
         return self._module
 
 
@@ -97,9 +107,9 @@ class OptimizingBackEnd:
 
     name = "abstract"
     wire_format = None
-    #: Emitter classes; baseline compilers may substitute specialized ones.
-    marshal_emitter_class = MarshalEmitter
-    unmarshal_emitter_class = UnmarshalEmitter
+    #: Kernels that DMA from fixed staging areas (Mach-style) marshal
+    #: byte runs through a staging variable; see MarshalLower.
+    staged_copies = False
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -123,13 +133,17 @@ class OptimizingBackEnd:
         """Emit ``def _check_reply(d, _ctx):`` returning the body offset."""
         raise NotImplementedError
 
-    def emit_reply_error_tail(self, w, presc):
-        """Emit the ``_u_rep_*`` fallthrough for unknown reply statuses.
+    def reply_error_tail_ops(self, presc):
+        """IR ops for the ``_u_rep_*`` fallthrough on unknown statuses.
 
         Protocols with in-band error replies (GIOP system exceptions)
         override this to decode them; the default rejects the status.
         """
-        w.line("raise UnmarshalError('bad reply status %r' % (_d,))")
+        return [mir_ops.Raise(
+            error="UnmarshalError",
+            message_expr="'bad reply status %r' % (_d,)",
+            literal=False,
+        )]
 
     #: DispatchError code for an unknown operation (protocol-specific).
     unknown_op_code = None
@@ -162,12 +176,23 @@ class OptimizingBackEnd:
     # Entry point
     # ------------------------------------------------------------------
 
-    def generate(self, presc, flags=None):
-        """Generate stubs for *presc*; returns :class:`GeneratedStubs`."""
+    def generate(self, presc, flags=None, renderer="py"):
+        """Generate stubs for *presc*; returns :class:`GeneratedStubs`.
+
+        *renderer* selects how the optimized marshal IR becomes
+        executable codecs: ``"py"`` renders Python source (the default),
+        ``"closures"`` additionally compiles the IR straight to
+        closure-based codecs installed over the module at load time, and
+        ``"c"`` is implied — the C artifact is always produced.
+        """
         flags = flags or OptFlags()
+        if renderer not in RENDERERS:
+            raise BackEndError(
+                "unknown renderer %r; available renderers: %s"
+                % (renderer, ", ".join(RENDERERS))
+            )
         self.supports(presc)
         w = PyWriter()
-        out_of_line = OutOfLineSet()
         metadata = {
             "operations": {},
             "records": [],
@@ -181,9 +206,23 @@ class OptimizingBackEnd:
         self._emit_records(w, records)
         self._emit_exceptions(w, exceptions)
         for stub in presc.stubs:
-            self._emit_stub_functions(w, presc, stub, flags, out_of_line,
-                                      metadata)
-        self._drain_out_of_line(w, presc, flags, out_of_line)
+            op_meta = {}
+            metadata["operations"][stub.operation_name] = op_meta
+            op_meta["request_storage"] = analyze_storage(
+                stub.request_pres.mint, self.wire_format,
+                presc.mint_registry,
+            )
+            if stub.reply_pres is not None:
+                op_meta["reply_storage"] = analyze_storage(
+                    stub.reply_pres.mint, self.wire_format,
+                    presc.mint_registry,
+                )
+        program = self._emit_codec_functions(w, presc, flags, metadata)
+        if renderer == "closures" and program is None:
+            raise BackEndError(
+                "renderer 'closures' needs the marshal-IR pipeline; "
+                "the %s back end emits codec text directly" % self.name
+            )
         self.emit_check_reply(w, presc)
         w.blank()
         self._emit_client(w, presc, flags)
@@ -194,12 +233,16 @@ class OptimizingBackEnd:
         c_source, c_header = self._emit_c(presc, flags)
         # Key the module name on the generated source so two versions of
         # one interface (say, an old and a new schema under diff) load
-        # side by side without ever aliasing in sys.modules.
+        # side by side without ever aliasing in sys.modules.  The
+        # closure renderer shares py_source with the source renderer but
+        # installs different codec objects, so it gets its own suffix.
         module_name = "flick_%s_%s_%s" % (
             mangle(presc.interface_name).lower(),
             self.name.replace("-", "_"),
             hashlib.sha256(py_source.encode("utf-8")).hexdigest()[:10],
         )
+        if renderer == "closures":
+            module_name += "_clo"
         return GeneratedStubs(
             interface_name=presc.interface_name,
             backend_name=self.name,
@@ -209,7 +252,51 @@ class OptimizingBackEnd:
             c_header=c_header,
             metadata=metadata,
             module_name=module_name,
+            renderer=renderer,
+            mir=program,
         )
+
+    # ------------------------------------------------------------------
+    # Codec emission (renderer seam)
+    # ------------------------------------------------------------------
+
+    def _emit_codec_functions(self, w, presc, flags, metadata):
+        """Lower PRES_C to marshal IR, run the pass pipeline, render.
+
+        Returns the optimized :class:`repro.mir.ops.MirProgram`.
+        Baseline compilers that reproduce rival code styles override
+        this with :meth:`_emit_codec_functions_writer` and return None.
+        """
+        from repro.mir.build import build_program
+        from repro.mir.passes import PassManager
+        from repro.mir import render_py
+
+        program = build_program(self, presc, flags)
+        program = PassManager(flags).run(program)
+        render_py.render_program(w, program)
+        for fn in program.functions:
+            if fn.kind == "m_req":
+                op_meta = metadata["operations"][fn.operation]
+                op_meta["request_chunks"] = fn.chunks
+        return program
+
+    def _emit_codec_functions_writer(self, w, presc, flags, metadata):
+        """Per-stub writer loop for compilers that emit codec text
+        directly through their own emitters instead of marshal IR."""
+        out_of_line = OutOfLineSet()
+        for stub in presc.stubs:
+            op_meta = metadata["operations"][stub.operation_name]
+            self._emit_request_marshal(w, presc, stub, flags, out_of_line,
+                                       op_meta)
+            self._emit_request_unmarshal(w, presc, stub, flags,
+                                         out_of_line)
+            if not stub.oneway:
+                self._emit_reply_marshals(w, presc, stub, flags,
+                                          out_of_line)
+                self._emit_reply_unmarshal(w, presc, stub, flags,
+                                           out_of_line)
+        self._drain_out_of_line(w, presc, flags, out_of_line)
+        return None
 
     # ------------------------------------------------------------------
     # Module sections
@@ -291,96 +378,11 @@ class OptimizingBackEnd:
             w.blank()
 
     # ------------------------------------------------------------------
-    # Per-operation functions
+    # Per-operation layout facts shared by the renderers
     # ------------------------------------------------------------------
-
-    def _emit_stub_functions(self, w, presc, stub, flags, out_of_line,
-                             metadata):
-        op_meta = {}
-        metadata["operations"][stub.operation_name] = op_meta
-        self._emit_request_marshal(w, presc, stub, flags, out_of_line,
-                                   op_meta)
-        self._emit_request_unmarshal(w, presc, stub, flags, out_of_line)
-        if not stub.oneway:
-            self._emit_reply_marshals(w, presc, stub, flags, out_of_line)
-            self._emit_reply_unmarshal(w, presc, stub, flags, out_of_line)
-        op_meta["request_storage"] = analyze_storage(
-            stub.request_pres.mint, self.wire_format, presc.mint_registry
-        )
-        if stub.reply_pres is not None:
-            op_meta["reply_storage"] = analyze_storage(
-                stub.reply_pres.mint, self.wire_format, presc.mint_registry
-            )
-
-    def _emit_header(self, w, emitter, spec, header_const):
-        """Emit the template copy and patches for a header."""
-        size = len(spec.template)
-        if size:
-            w.line("_o0 = b.reserve(%d)" % size)
-            w.line("b.data[_o0:_o0 + %d] = %s" % (size, header_const))
-            for offset, fmt_text, expr in spec.patches:
-                w.line(
-                    "_pack_into(%r, b.data, _o0 + %d, %s)"
-                    % (fmt_text, offset, expr)
-                )
-        emitter.reset(static_offset=size)
-
-    def _emit_size_patch(self, w, spec):
-        if spec.size_patch is not None:
-            offset, fmt_text, delta = spec.size_patch
-            delta_text = " - %d" % delta if delta else ""
-            w.line(
-                "_pack_into(%r, b.data, _o0 + %d, b.length%s)"
-                % (fmt_text, offset, delta_text)
-            )
 
     def _header_const_name(self, stub, kind):
         return "_H_%s_%s" % (kind, stub.operation_name)
-
-    def _emit_request_marshal(self, w, presc, stub, flags, out_of_line,
-                              op_meta):
-        spec = self.request_header(presc, stub)
-        const = self._header_const_name(stub, "req")
-        w.line("%s = %r" % (const, spec.template))
-        in_parameters = stub.in_parameters()
-        # Internal argument names avoid any collision with generated
-        # locals (IDL identifiers cannot begin with an underscore).
-        arg_names = ["_a%d" % index for index in range(len(in_parameters))]
-        args = ", ".join(arg_names)
-        w.line("def _m_req_%s(b, _ctx%s):"
-               % (stub.operation_name, ", " + args if args else ""))
-        w.indent()
-        emitter = self.marshal_emitter_class(
-            w, self.wire_format, flags, presc, out_of_line
-        )
-        self._emit_header(w, emitter, spec, const)
-        for parameter, arg_name in zip(in_parameters, arg_names):
-            emitter.emit(parameter.pres, arg_name)
-        emitter.flush()
-        self._emit_size_patch(w, spec)
-        op_meta["request_chunks"] = emitter.chunks_emitted
-        w.dedent()
-        w.blank()
-
-    def _emit_request_unmarshal(self, w, presc, stub, flags, out_of_line):
-        w.line("def _u_req_%s(d, o):" % stub.operation_name)
-        w.indent()
-        emitter = self.unmarshal_emitter_class(
-            w, self.wire_format, flags, presc, out_of_line,
-            zero_copy=flags.zero_copy_server,
-        )
-        emitter.reset(static_offset=None)
-        emitter.static_offset = self._request_body_offset(presc, stub)
-        emitter.align_guarantee = self.wire_format.universal_alignment
-        exprs = [
-            emitter.emit(parameter.pres)
-            for parameter in stub.in_parameters()
-        ]
-        emitter.flush()
-        w.line("return (%s), o" % (", ".join(exprs) + ","
-                                   if exprs else ""))
-        w.dedent()
-        w.blank()
 
     def _request_body_offset(self, presc, stub):
         """Static body offset in requests, or None if header is variable."""
@@ -388,214 +390,6 @@ class OptimizingBackEnd:
 
     def _reply_body_offset(self, presc, stub):
         return len(self.reply_header(presc, stub).template)
-
-    def _emit_reply_marshals(self, w, presc, stub, flags, out_of_line):
-        spec = self.reply_header(presc, stub)
-        const = self._header_const_name(stub, "rep")
-        w.line("%s = %r" % (const, spec.template))
-        # Success reply.
-        success_arm = stub.reply_pres.arms[0]
-        result_fields = success_arm.pres.fields
-        args = ", ".join("_r_%s" % f.name.lstrip("_") for f in result_fields)
-        w.line("def _m_rep_ok_%s(b, _ctx%s):"
-               % (stub.operation_name, ", " + args if args else ""))
-        w.indent()
-        emitter = self.marshal_emitter_class(
-            w, self.wire_format, flags, presc, out_of_line
-        )
-        self._emit_header(w, emitter, spec, const)
-        disc_codec = self.wire_format.atom_codec(
-            stub.reply_pres.mint.discriminator
-        )
-        emitter.add_atom(disc_codec, "0")
-        for struct_field in result_fields:
-            emitter.emit(
-                struct_field.pres, "_r_%s" % struct_field.name.lstrip("_")
-            )
-        emitter.flush()
-        self._emit_size_patch(w, spec)
-        w.dedent()
-        w.blank()
-        # One marshal function per exception arm.
-        for arm in stub.reply_pres.arms[1:]:
-            label = arm.labels[0]
-            w.line("def _m_rep_x%d_%s(b, _ctx, _exc):"
-                   % (label, stub.operation_name))
-            w.indent()
-            emitter = self.marshal_emitter_class(
-                w, self.wire_format, flags, presc, out_of_line
-            )
-            self._emit_header(w, emitter, spec, const)
-            emitter.add_atom(disc_codec, str(label))
-            emitter.emit(arm.pres, "_exc")
-            emitter.flush()
-            self._emit_size_patch(w, spec)
-            w.dedent()
-            w.blank()
-
-    def _emit_reply_unmarshal(self, w, presc, stub, flags, out_of_line):
-        """Decode the reply body: return results or raise the exception."""
-        w.line("def _u_rep_%s(d, o):" % stub.operation_name)
-        w.indent()
-        emitter = self.unmarshal_emitter_class(
-            w, self.wire_format, flags, presc, out_of_line
-        )
-        emitter.reset(static_offset=None)
-        emitter.static_offset = self._reply_body_offset(presc, stub)
-        emitter.align_guarantee = self.wire_format.universal_alignment
-        disc_codec = self.wire_format.atom_codec(
-            stub.reply_pres.mint.discriminator
-        )
-        disc = emitter.read_atom(disc_codec)
-        emitter.flush()
-        w.line("_d = %s" % disc)
-        success_arm = stub.reply_pres.arms[0]
-        w.line("if _d == 0:")
-        w.indent()
-        emitter.enter_unknown()
-        exprs = [
-            emitter.emit(struct_field.pres)
-            for struct_field in success_arm.pres.fields
-        ]
-        emitter.flush()
-        # Materialize the result, then reject trailing garbage: a reply
-        # that decodes but leaves bytes behind is a framing bug or an
-        # attack, not a success.
-        if not exprs:
-            w.line("_chk_end(d, o)")
-            w.line("return None")
-        elif len(exprs) == 1:
-            w.line("_rv = %s" % exprs[0])
-            w.line("_chk_end(d, o)")
-            w.line("return _rv")
-        else:
-            w.line("_rv = (%s)" % ", ".join(exprs))
-            w.line("_chk_end(d, o)")
-            w.line("return _rv")
-        w.dedent()
-        for arm in stub.reply_pres.arms[1:]:
-            w.line("elif _d == %d:" % arm.labels[0])
-            w.indent()
-            emitter.enter_unknown()
-            value = emitter.emit(arm.pres)
-            emitter.flush()
-            w.line("_rx = %s" % value)
-            w.line("_chk_end(d, o)")
-            w.line("raise _rx")
-            w.dedent()
-        self.emit_reply_error_tail(w, presc)
-        w.dedent()
-        w.blank()
-
-    def _drain_out_of_line(self, w, presc, flags, out_of_line):
-        """Emit queued out-of-line marshal/unmarshal helper functions."""
-        while out_of_line.pending:
-            kind, name = out_of_line.pending.pop(0)
-            pres = presc.pres_registry[name]
-            function = "_%s_%s" % (kind, mangle(name))
-            list_shape = None
-            if flags.iterative_lists:
-                list_shape = _tail_recursive_list(pres, presc, name)
-            if kind == "m":
-                w.line("def %s(b, v):" % function)
-                w.indent()
-                emitter = self.marshal_emitter_class(
-                    w, self.wire_format, flags, presc, out_of_line
-                )
-                emitter.enter_unknown()
-                if list_shape is not None:
-                    self._emit_iterative_list_marshal(
-                        w, emitter, list_shape
-                    )
-                else:
-                    # The body must not immediately outline itself.
-                    emitter.emit(self._inline_target(pres, presc), "v")
-                    emitter.flush()
-                w.dedent()
-            else:
-                w.line("def %s(d, o):" % function)
-                w.indent()
-                emitter = self.unmarshal_emitter_class(
-                    w, self.wire_format, flags, presc, out_of_line
-                )
-                emitter.enter_unknown()
-                if list_shape is not None:
-                    self._emit_iterative_list_unmarshal(
-                        w, emitter, list_shape
-                    )
-                else:
-                    value = emitter.emit_value(
-                        self._inline_target(pres, presc)
-                    )
-                    w.line("return %s, o" % value)
-                w.dedent()
-            w.blank()
-
-    def _emit_iterative_list_marshal(self, w, emitter, list_shape):
-        """Marshal a self-referential list with a loop (footnote 5).
-
-        Wire-identical to the recursive version: for each node, the
-        leading fields, then the tail optional's presence word.
-        """
-        struct_pres, tail_name, tail_pres = list_shape
-        w.line("while 1:")
-        w.indent()
-        emitter.enter_unknown()
-        for struct_field in struct_pres.fields[:-1]:
-            emitter.emit(struct_field.pres, "v.%s" % struct_field.name)
-        emitter.flush()
-        w.line("_nx = v.%s" % tail_name)
-        w.line("if _nx is None:")
-        w.indent()
-        emitter.enter_unknown()
-        emitter._emit_array_header(tail_pres.mint, "0")
-        emitter.flush()
-        w.line("return")
-        w.dedent()
-        emitter.enter_unknown()
-        emitter._emit_array_header(tail_pres.mint, "1")
-        emitter.flush()
-        w.line("v = _nx")
-        w.dedent()
-
-    def _emit_iterative_list_unmarshal(self, w, emitter, list_shape):
-        struct_pres, tail_name, tail_pres = list_shape
-        record = mangle(struct_pres.record_name)
-        exprs = [
-            emitter.emit(struct_field.pres)
-            for struct_field in struct_pres.fields[:-1]
-        ]
-        emitter.flush()
-        w.line("_node = %s(%s)" % (record, ", ".join(exprs + ["None"])))
-        w.line("_head = _node")
-        w.line("while 1:")
-        w.indent()
-        emitter.enter_unknown()
-        flag = emitter._read_array_header(tail_pres.mint)
-        w.line("if %s == 0:" % flag)
-        w.indent()
-        w.line("return _head, o")
-        w.dedent()
-        w.line("if %s != 1:" % flag)
-        w.indent()
-        w.line("raise UnmarshalError('bad optional count')")
-        w.dedent()
-        emitter.enter_unknown()
-        exprs = [
-            emitter.emit(struct_field.pres)
-            for struct_field in struct_pres.fields[:-1]
-        ]
-        emitter.flush()
-        w.line("_nxt = %s(%s)" % (record, ", ".join(exprs + ["None"])))
-        w.line("_node.%s = _nxt" % tail_name)
-        w.line("_node = _nxt")
-        w.dedent()
-
-    @staticmethod
-    def _inline_target(pres, presc):
-        if isinstance(pres, p.PresRef):
-            return presc.pres_registry[pres.name]
-        return pres
 
     # ------------------------------------------------------------------
     # Client / servant / dispatch
@@ -843,34 +637,6 @@ class OptimizingBackEnd:
         from repro.backend.cemit import emit_c_stubs
 
         return emit_c_stubs(self, presc, flags)
-
-
-def _tail_recursive_list(pres, presc, name):
-    """Detect the classic list shape: a struct whose *last* field is an
-    optional pointer back to the type itself, with no other recursion.
-
-    Returns ``(struct_pres, tail_field_name, tail_optptr)`` or None.
-    """
-    from repro.mint.analysis import is_recursive
-
-    target = pres
-    while isinstance(target, p.PresRef):
-        target = presc.pres_registry[target.name]
-    if not isinstance(target, p.PresStruct) or not target.fields:
-        return None
-    tail = target.fields[-1]
-    tail_pres = tail.pres
-    if not isinstance(tail_pres, p.PresOptPtr):
-        return None
-    element = tail_pres.element
-    if not (isinstance(element, p.PresRef) and element.name == name):
-        return None
-    # Leading fields must not themselves recurse, or a loop is unsound.
-    for struct_field in target.fields[:-1]:
-        mint = getattr(struct_field.pres, "mint", None)
-        if mint is not None and is_recursive(mint, presc.mint_registry):
-            return None
-    return target, tail.name, tail_pres
 
 
 def _tuple_literal(names):

@@ -233,12 +233,20 @@ class IiopBackEnd(OptimizingBackEnd):
                " completed=_cmp)")
         w.dedent()
 
-    def emit_reply_error_tail(self, w, presc):
-        w.line("if _d == %d:" % SYSTEM_EXCEPTION_STATUS)
-        w.indent()
-        w.line("raise _u_system_exception(d, o)")
-        w.dedent()
-        w.line("raise UnmarshalError('bad reply status %r' % (_d,))")
+    def reply_error_tail_ops(self, presc):
+        from repro.mir import ops as m
+
+        return [
+            m.Branch(arms=[m.BranchArm(
+                cond="_d == %d" % SYSTEM_EXCEPTION_STATUS,
+                body=[m.Raise(value_expr="_u_system_exception(d, o)")],
+            )]),
+            m.Raise(
+                error="UnmarshalError",
+                message_expr="'bad reply status %r' % (_d,)",
+                literal=False,
+            ),
+        ]
 
     def emit_error_reply(self, w, presc):
         endian = self.wire_format.endian

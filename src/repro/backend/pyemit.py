@@ -1,1212 +1,18 @@
-"""Optimizing marshal/unmarshal code generation for the Python target.
+"""Compatibility shim for the retired Python-source emitter library.
 
-This module is the reproduction's analog of Flick's shared back-end code
-base: it turns PRES trees into straight-line Python marshal and unmarshal
-code, applying the paper's section-3 optimizations:
-
-* **Chunking** (3.2): runs of fixed-layout atoms coalesce into a single
-  ``struct.pack_into``/``unpack_from`` with one multi-field format string
-  and compile-time constant offsets — the Python rendering of Flick's
-  chunk-pointer-plus-constant-offset code.
-* **Marshal buffer management** (3.1): the storage layout of each chunk is
-  known statically, so exactly one ``buffer.reserve`` guards it; variable
-  regions get one check sized from their runtime length.
-* **memcpy / batched copies** (3.2): byte-grained arrays (strings, opaque)
-  move with one slice assignment; arrays of wider atoms move with one
-  array-wide pack/unpack.
-* **Inlining** (3.3): aggregate marshal code is expanded in place; only
-  recursive types (or everything, when ``inline_marshal`` is off) become
-  out-of-line ``_m_<name>``/``_u_<name>`` functions.
-
-Alignment is tracked statically: while the absolute message offset is
-known, padding is folded into format strings as ``x`` pad bytes; after
-variable-length data the emitter falls back to the wire format's universal
-alignment guarantee and only emits dynamic alignment arithmetic when that
-guarantee is insufficient.
+The writer-driven ``MarshalEmitter``/``UnmarshalEmitter`` pair that used
+to live here was replaced by the explicit marshal IR: lowering now
+happens in :mod:`repro.mir.lower`, the section-3 optimizations run as
+passes in :mod:`repro.mir.passes`, and Python source is one renderer
+among several (:mod:`repro.mir.render_py`).  This module keeps the
+handful of names external code imported from the old emitter library.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from repro.mir.ops import UNROLL_LIMIT, largest_pow2_divisor, mangle
 
-from repro.errors import BackEndError
-from repro.mint.analysis import is_recursive
-from repro.mint.types import MintChar, MintInteger
-from repro.pres import nodes as p
+# Historical private name, still imported by the property tests.
+_largest_pow2_divisor = largest_pow2_divisor
 
-#: Inline fixed arrays of atoms up to this many elements when chunking
-#: without the batched-copy optimization; longer ones loop.
-UNROLL_LIMIT = 16
-
-
-def _largest_pow2_divisor(value, limit):
-    """The largest power of two <= limit dividing value (for alignment)."""
-    align = limit
-    while align > 1 and value % align:
-        align //= 2
-    return max(align, 1)
-
-
-@dataclass
-class _ChunkEntry:
-    codec: object
-    count: int = 1           # element count (>1 or starred atom arrays)
-    expr: str = ""           # marshal: value expression
-    out_index: int = 0       # unmarshal: index into the unpack tuple
-    star: bool = False       # entry is an array: splat on pack, slice on
-                             # unpack (independent of count, so length-1
-                             # arrays behave like arrays)
-
-
-class _EmitterBase:
-    """State shared by the marshal and unmarshal emitters."""
-
-    def __init__(self, writer, wire_format, flags, presc, out_of_line):
-        self.w = writer
-        self.fmt = wire_format
-        self.flags = flags
-        self.presc = presc
-        self.pres_registry = presc.pres_registry
-        self.mint_registry = presc.mint_registry
-        self.out_of_line = out_of_line
-        self.chunk: List[_ChunkEntry] = []
-        self.static_offset: Optional[int] = 0
-        self.align_guarantee = 8
-        # Alignment the current chunk's base will be given (dynamic case);
-        # atoms needing more start a new chunk, keeping chunk layout equal
-        # to the true per-atom wire layout.
-        self._chunk_base_align = 1
-        #: Statistics: number of chunks flushed and atoms emitted (used by
-        #: metadata and the chunking tests/benchmarks).
-        self.chunks_emitted = 0
-        self.atoms_emitted = 0
-
-    def _admit_atom(self, codec):
-        """Chunk-splitting rule before queueing an atom (dynamic base)."""
-        if self.static_offset is not None:
-            return
-        if not self.chunk:
-            self._chunk_base_align = max(
-                codec.alignment, self.align_guarantee
-            )
-        elif codec.alignment > self._chunk_base_align:
-            self.flush()
-            self._chunk_base_align = max(
-                codec.alignment, self.align_guarantee
-            )
-
-    def reset(self, static_offset=0):
-        """Start a new message at a known absolute offset."""
-        self.chunk = []
-        self.static_offset = static_offset
-        self.align_guarantee = 8
-
-    def enter_unknown(self):
-        """Enter a region of unknown offset (loop body, branch join)."""
-        self.static_offset = None
-        self.align_guarantee = self.fmt.universal_alignment
-
-    def _advance(self, size):
-        """Track offset knowledge across *size* emitted bytes."""
-        if self.static_offset is not None:
-            self.static_offset += size
-        else:
-            self.align_guarantee = _largest_pow2_divisor(
-                size, self.align_guarantee
-            )
-
-    def _layout(self, entries, start):
-        """Lay out a chunk beginning at absolute offset *start*.
-
-        Pads are computed against the true wire positions (``start`` is the
-        absolute message offset when known, or 0 for a chunk whose base has
-        been dynamically aligned), so chunked and unchunked code produce
-        byte-identical messages.  Returns ``(fmt, total, offsets)`` where
-        offsets are relative to the chunk base.
-        """
-        parts = []
-        offset = start
-        offsets = []
-        for entry in entries:
-            codec = entry.codec
-            pad = -offset % codec.alignment
-            if pad:
-                parts.append("%dx" % pad)
-            offset += pad
-            offsets.append(offset - start)
-            if entry.star or entry.count > 1:
-                parts.append("%d%s" % (entry.count, codec.format))
-            else:
-                parts.append(codec.format)
-            offset += codec.size * entry.count
-        return "".join(parts), offset - start, offsets
-
-    def resolve(self, pres):
-        if isinstance(pres, p.PresRef):
-            return self.pres_registry[pres.name]
-        return pres
-
-    def should_outline(self, pres_ref):
-        """Out-of-line marshaling for recursive types, or for every named
-        type when inlining is disabled."""
-        if not self.flags.inline_marshal:
-            return True
-        return is_recursive(pres_ref.mint, self.mint_registry)
-
-    @staticmethod
-    def mangle(name):
-        return name.replace("::", "__").replace(" ", "_")
-
-    # -- conversions ----------------------------------------------------
-
-    @staticmethod
-    def pack_expr(codec, expr):
-        """Wrap *expr* for packing (bool is an int subclass; only chars
-        need conversion)."""
-        if codec.conversion == "char":
-            return "ord(%s)" % expr
-        return expr
-
-    @staticmethod
-    def unpack_expr(codec, expr):
-        if codec.conversion == "char":
-            return "chr(%s)" % expr
-        if codec.conversion == "bool":
-            return "bool(%s)" % expr
-        return expr
-
-
-class OutOfLineSet:
-    """Bookkeeping for out-of-line marshal/unmarshal helper functions.
-
-    Functions are queued when first referenced and emitted by the back end
-    after the main stubs; recursion terminates because the queue records
-    names before bodies are generated.
-    """
-
-    def __init__(self):
-        self.marshal_done = set()
-        self.unmarshal_done = set()
-        self.pending = []  # (kind, name)
-
-    def request(self, kind, name):
-        done = self.marshal_done if kind == "m" else self.unmarshal_done
-        if name not in done:
-            done.add(name)
-            self.pending.append((kind, name))
-        return "_%s_%s" % (kind, _EmitterBase.mangle(name))
-
-
-class MarshalEmitter(_EmitterBase):
-    """Emits marshal code: Python statements writing into buffer ``b``."""
-
-    def __init__(self, writer, wire_format, flags, presc, out_of_line,
-                 buffer_var="b"):
-        super().__init__(writer, wire_format, flags, presc, out_of_line)
-        self.b = buffer_var
-
-    # ------------------------------------------------------------------
-    # Chunk machinery
-    # ------------------------------------------------------------------
-
-    def add_atom(self, codec, expr, count=1):
-        self._admit_atom(codec)
-        self.chunk.append(
-            _ChunkEntry(codec, count, self.pack_expr(codec, expr))
-        )
-        if not self.flags.chunk_atoms or not self.flags.batch_buffer_checks:
-            self.flush()
-
-    def flush(self):
-        if not self.chunk:
-            return
-        entries, self.chunk = self.chunk, []
-        self.chunks_emitted += 1
-        self.atoms_emitted += sum(entry.count for entry in entries)
-        if self.static_offset is not None:
-            start = self.static_offset
-            fmt, total, offsets = self._layout(entries, start)
-            offset_var = self.w.temp("_o")
-            self.w.line("%s = %s.reserve(%d)" % (offset_var, self.b, total))
-        else:
-            base_align = self._chunk_base_align
-            fmt, total, offsets = self._layout(entries, 0)
-            offset_var = self._reserve_dynamic_base(total, base_align)
-        self._emit_packs(entries, fmt, offsets, offset_var)
-        self._advance(total)
-
-    def _reserve_dynamic_base(self, total, base_align):
-        """Reserve *total* bytes with the chunk base aligned dynamically."""
-        w = self.w
-        offset_var = w.temp("_o")
-        if self.align_guarantee >= base_align:
-            w.line("%s = %s.reserve(%d)" % (offset_var, self.b, total))
-            return offset_var
-        pad_var = w.temp("_p")
-        w.line("%s = -%s.length %% %d" % (pad_var, self.b, base_align))
-        w.line(
-            "%s = %s.reserve(%s + %d) + %s"
-            % (offset_var, self.b, pad_var, total, pad_var)
-        )
-        w.line(
-            "%s.data[%s - %s:%s] = _Z[:%s]"
-            % (self.b, offset_var, pad_var, offset_var, pad_var)
-        )
-        self.align_guarantee = base_align
-        return offset_var
-
-    def _emit_packs(self, entries, fmt, offsets, offset_var):
-        if self.flags.chunk_atoms and self.flags.batch_buffer_checks:
-            args = []
-            for entry in entries:
-                starred = entry.star or entry.count > 1
-                args.append(("*" if starred else "") + entry.expr)
-            self.w.line(
-                "_pack_into(%r, %s.data, %s, %s)"
-                % (self.fmt.endian + fmt, self.b, offset_var, ", ".join(args))
-            )
-            return
-        # One pack per atom (unchunked).  Each pack's format carries the
-        # preceding alignment gap as 'x' pads so gap bytes stay zeroed.
-        previous_end = 0
-        for entry, off in zip(entries, offsets):
-            gap = off - previous_end
-            starred = entry.star or entry.count > 1
-            single = (
-                "%d%s" % (entry.count, entry.codec.format)
-                if starred else entry.codec.format
-            )
-            if gap:
-                single = "%dx%s" % (gap, single)
-            star = "*" if starred else ""
-            at = offset_var
-            if previous_end:
-                at = "%s + %d" % (offset_var, previous_end)
-            self.w.line(
-                "_pack_into(%r, %s.data, %s, %s%s)"
-                % (self.fmt.endian + single, self.b, at, star, entry.expr)
-            )
-            previous_end = off + entry.codec.size * entry.count
-
-    def _reserve(self, size, align):
-        """Reserve *size* bytes aligned to *align*.
-
-        Returns ``(static_pad, offset_expr)``: the statically-known leading
-        padding folded into the caller's format string, and the expression
-        for the reservation's base offset.
-        """
-        w = self.w
-        if self.static_offset is not None:
-            pad = -self.static_offset % align
-            var = w.temp("_o")
-            w.line("%s = %s.reserve(%d)" % (var, self.b, pad + size))
-            return pad, var
-        if self.align_guarantee >= align:
-            var = w.temp("_o")
-            w.line("%s = %s.reserve(%d)" % (var, self.b, size))
-            return 0, var
-        pad_var = w.temp("_p")
-        var = w.temp("_o")
-        w.line("%s = -%s.length %% %d" % (pad_var, self.b, align))
-        w.line(
-            "%s = %s.reserve(%s + %d) + %s"
-            % (var, self.b, pad_var, size, pad_var)
-        )
-        w.line(
-            "%s.data[%s - %s:%s] = _Z[:%s]"
-            % (self.b, var, pad_var, var, pad_var)
-        )
-        # Offset is now aligned; subsequent knowledge is modular only.
-        self.align_guarantee = align
-        return 0, var
-
-    def reserve_dynamic(self, size_expr, align):
-        """Reserve a runtime-sized region; returns the offset expression.
-
-        Used by variable arrays; *size_expr* must evaluate to the exact
-        byte count including any trailing padding.
-        """
-        w = self.w
-        var = w.temp("_o")
-        if self.static_offset is not None:
-            pad = -self.static_offset % align
-            if pad:
-                w.line(
-                    "%s = %s.reserve(%d + (%s)) + %d"
-                    % (var, self.b, pad, size_expr, pad)
-                )
-                w.line("%s.data[%s - %d:%s] = _Z[:%d]"
-                       % (self.b, var, pad, var, pad))
-            else:
-                w.line("%s = %s.reserve(%s)" % (var, self.b, size_expr))
-            self.static_offset = None
-            self.align_guarantee = align
-            return var
-        if self.align_guarantee >= align:
-            w.line("%s = %s.reserve(%s)" % (var, self.b, size_expr))
-            return var
-        pad_var = w.temp("_p")
-        w.line("%s = -%s.length %% %d" % (pad_var, self.b, align))
-        w.line(
-            "%s = %s.reserve(%s + (%s)) + %s"
-            % (var, self.b, pad_var, size_expr, pad_var)
-        )
-        w.line("%s.data[%s - %s:%s] = _Z[:%s]"
-               % (self.b, var, pad_var, var, pad_var))
-        self.align_guarantee = align
-        return var
-
-    # ------------------------------------------------------------------
-    # PRES dispatch
-    # ------------------------------------------------------------------
-
-    def emit(self, pres, expr):
-        """Emit marshal code for *pres* reading the presented value from
-        the Python expression *expr*."""
-        if isinstance(pres, p.PresVoid):
-            return
-        if isinstance(pres, p.PresRef):
-            self._emit_ref(pres, expr)
-        elif isinstance(pres, (p.PresDirect, p.PresEnum)):
-            self.add_atom(self.fmt.atom_codec(pres.mint), expr)
-        elif isinstance(pres, p.PresString):
-            self._emit_string(pres, expr)
-        elif isinstance(pres, p.PresBytes):
-            self._emit_bytes(pres, expr)
-        elif isinstance(pres, p.PresFixedArray):
-            self._emit_fixed_array(pres, expr)
-        elif isinstance(pres, p.PresCountedArray):
-            self._emit_counted_array(pres, expr)
-        elif isinstance(pres, p.PresOptPtr):
-            self._emit_optional(pres, expr)
-        elif isinstance(pres, p.PresStruct):
-            self._emit_struct(pres, expr)
-        elif isinstance(pres, p.PresUnion):
-            self._emit_union(pres, expr)
-        elif isinstance(pres, p.PresException):
-            self._emit_exception(pres, expr)
-        else:
-            raise BackEndError(
-                "cannot marshal PRES node %r" % type(pres).__name__
-            )
-
-    def _emit_ref(self, pres, expr):
-        if self.should_outline(pres):
-            function = self.out_of_line.request("m", pres.name)
-            self.flush()
-            self.w.line("%s(%s, %s)" % (function, self.b, expr))
-            self.enter_unknown()
-        else:
-            self.emit(self.resolve(pres), expr)
-
-    def _emit_struct(self, pres, expr):
-        if len(pres.fields) > 1 and not expr.isidentifier():
-            # Hoist the base object: the Python analog of the paper's
-            # chunk pointer (one base, constant "offsets" = attributes).
-            base = self.w.temp("_s")
-            self.w.line("%s = %s" % (base, expr))
-            expr = base
-        for struct_field in pres.fields:
-            self.emit(struct_field.pres, "%s.%s" % (expr, struct_field.name))
-
-    def _emit_exception(self, pres, expr):
-        if len(pres.fields) > 1 and not expr.isidentifier():
-            base = self.w.temp("_s")
-            self.w.line("%s = %s" % (base, expr))
-            expr = base
-        for struct_field in pres.fields:
-            self.emit(struct_field.pres, "%s.%s" % (expr, struct_field.name))
-
-    # -- arrays ---------------------------------------------------------
-
-    def _header_entries(self, mint_array, count_expr):
-        """Chunk entries encoding the array header (length/descriptor)."""
-        header = self.fmt.array_header_size(mint_array)
-        if header == 0:
-            return []
-        u32 = self.fmt.atom_codec(MintInteger(32, False))
-        if header == 4:
-            return [_ChunkEntry(u32, 1, count_expr)]
-        if header == 8:
-            element = self.mint_registry.resolve(mint_array.element)
-            from repro.mint.types import is_atom
-
-            descriptor_atom = element if is_atom(element) else MintInteger(8, False)
-            word = self.fmt.descriptor_word(descriptor_atom)
-            return [
-                _ChunkEntry(u32, 1, str(word)),
-                _ChunkEntry(u32, 1, count_expr),
-            ]
-        raise BackEndError("unsupported array header size %d" % header)
-
-    def _emit_array_header(self, mint_array, count_expr):
-        for entry in self._header_entries(mint_array, count_expr):
-            self._admit_atom(entry.codec)
-            self.chunk.append(entry)
-            if not self.flags.chunk_atoms or not self.flags.batch_buffer_checks:
-                self.flush()
-
-    def _emit_string(self, pres, expr):
-        w = self.w
-        self.flush()
-        data = w.temp("_s")
-        if pres.carries_length:
-            # The length-carrying presentation (paper section 2.2): the
-            # application hands over encoded bytes; no count, no encode.
-            w.line("%s = %s" % (data, expr))
-        else:
-            w.line("%s = %s.encode('latin-1')" % (data, expr))
-        if pres.bound is not None:
-            w.line("if len(%s) > %d:" % (data, pres.bound))
-            w.indent()
-            w.line(
-                "raise MarshalError('string exceeds bound %d')" % pres.bound
-            )
-            w.dedent()
-        n = w.temp("_n")
-        nul = 1 if self.fmt.string_nul_terminated else 0
-        w.line("%s = len(%s)%s" % (n, data, " + 1" if nul else ""))
-        self._emit_byte_run(pres.mint, data, n, nul=nul)
-
-    def _emit_bytes(self, pres, expr):
-        w = self.w
-        self.flush()
-        if pres.fixed_length is not None:
-            w.line("if len(%s) != %d:" % (expr, pres.fixed_length))
-            w.indent()
-            w.line(
-                "raise MarshalError('opaque must be exactly %d bytes')"
-                % pres.fixed_length
-            )
-            w.dedent()
-            self._emit_byte_run(
-                pres.mint, expr, str(pres.fixed_length),
-                static_count=pres.fixed_length,
-            )
-            return
-        if pres.bound is not None:
-            w.line("if len(%s) > %d:" % (expr, pres.bound))
-            w.indent()
-            w.line(
-                "raise MarshalError('opaque exceeds bound %d')" % pres.bound
-            )
-            w.dedent()
-        n = w.temp("_n")
-        w.line("%s = len(%s)" % (n, expr))
-        self._emit_byte_run(pres.mint, expr, n)
-
-    def _emit_byte_run(self, mint_array, data_expr, n_expr, nul=0,
-                       static_count=None):
-        """One slice-assignment bulk copy of a byte-grained array —
-        the memcpy optimization.  Handles header, data, NUL, padding."""
-        w = self.w
-        if not self.flags.memcpy_arrays:
-            self._emit_byte_run_slow(mint_array, data_expr, n_expr, nul)
-            return
-        header = self.fmt.array_header_size(mint_array)
-        pad_to4 = self.fmt.pads_byte_runs(mint_array)
-        header_align = self.fmt.array_header_alignment(mint_array)
-        if static_count is not None and not nul:
-            total = header + static_count
-            if pad_to4:
-                total += -static_count % 4
-            pad0, offset = self._reserve(total, max(header_align, 1))
-            base = "%s + %d" % (offset, pad0) if pad0 else offset
-            if pad0:
-                w.line(
-                    "%s.data[%s:%s] = _Z[:%d]" % (self.b, offset, base, pad0)
-                )
-            position = self._write_header(mint_array, base, n_expr)
-            w.line(
-                "%s.data[%s + %d:%s + %d] = %s"
-                % (self.b, base, position, base, position + static_count,
-                   data_expr)
-            )
-            if pad_to4 and static_count % 4:
-                pad = -static_count % 4
-                w.line(
-                    "%s.data[%s + %d:%s + %d] = _Z[:%d]"
-                    % (self.b, base, position + static_count, base,
-                       position + static_count + pad, pad)
-                )
-            self._advance(pad0 + total)
-            return
-        # Runtime-sized run.
-        size_expr = "%d + %s" % (header, n_expr) if header else n_expr
-        if pad_to4:
-            size_expr = "%s + (-%s %% 4)" % (size_expr, n_expr)
-        offset = self.reserve_dynamic(size_expr, max(header_align, 1))
-        position = self._write_header(mint_array, offset, n_expr)
-        base = "%s + %d" % (offset, position) if position else offset
-        end = self.w.temp("_e")
-        w.line("%s = %s + %s" % (end, base, n_expr))
-        if nul:
-            w.line(
-                "%s.data[%s:%s - 1] = %s" % (self.b, base, end, data_expr)
-            )
-            w.line("%s.data[%s - 1] = 0" % (self.b, end))
-        else:
-            w.line("%s.data[%s:%s] = %s" % (self.b, base, end, data_expr))
-        if pad_to4:
-            w.line(
-                "%s.data[%s:%s + (-%s %% 4)] = _Z[:-%s %% 4]"
-                % (self.b, end, end, n_expr, n_expr)
-            )
-        self.static_offset = None
-        self.align_guarantee = max(
-            4 if pad_to4 else 1, self.fmt.universal_alignment
-        )
-
-    def _write_header(self, mint_array, base_expr, n_expr):
-        """Write the array header at *base_expr*; return the data offset."""
-        entries = self._header_entries(mint_array, n_expr)
-        if not entries:
-            return 0
-        fmt = self.fmt.endian + "I" * len(entries)
-        self.w.line(
-            "_pack_into(%r, %s.data, %s, %s)"
-            % (fmt, self.b, base_expr,
-               ", ".join(entry.expr for entry in entries))
-        )
-        return 4 * len(entries)
-
-    def _emit_byte_run_slow(self, mint_array, data_expr, n_expr, nul):
-        """Byte-at-a-time marshaling (memcpy optimization disabled).
-
-        Wire layout is identical to the bulk-copy path — one byte per
-        element — but each byte performs its own buffer check and store,
-        the way naive per-datum marshal functions behave.
-        """
-        w = self.w
-        self._emit_array_header(mint_array, n_expr)
-        self.flush()
-        element = w.temp("_c")
-        w.line("for %s in %s:" % (element, data_expr))
-        w.indent()
-        offset = w.temp("_o")
-        w.line("%s = %s.reserve(1)" % (offset, self.b))
-        w.line("%s.data[%s] = %s" % (self.b, offset, element))
-        w.dedent()
-        if nul:
-            offset = w.temp("_o")
-            w.line("%s = %s.reserve(1)" % (offset, self.b))
-            w.line("%s.data[%s] = 0" % (self.b, offset))
-        if self.fmt.pads_byte_runs(mint_array):
-            pad = w.temp("_p")
-            w.line("%s = -%s.length %% 4" % (pad, self.b))
-            offset = w.temp("_o")
-            w.line("%s = %s.reserve(%s)" % (offset, self.b, pad))
-            w.line("%s.data[%s:%s + %s] = _Z[:%s]"
-                   % (self.b, offset, offset, pad, pad))
-        self.enter_unknown()
-
-    def _atom_element_codec(self, element_pres):
-        """The codec for an atomic element presentation, else None."""
-        element = self.resolve(element_pres)
-        if isinstance(element, (p.PresDirect, p.PresEnum)):
-            return self.fmt.atom_codec(element.mint)
-        return None
-
-    def _emit_fixed_array(self, pres, expr):
-        w = self.w
-        w.line("if len(%s) != %d:" % (expr, pres.length))
-        w.indent()
-        w.line(
-            "raise MarshalError('fixed array needs %d elements')"
-            % pres.length
-        )
-        w.dedent()
-        codec = self._atom_element_codec(pres.element)
-        header = self.fmt.array_header_size(pres.mint)
-        if codec is not None and self.flags.memcpy_arrays:
-            # Statically-sized atomic array: join the current chunk as one
-            # star entry (a single batched pack).
-            self._emit_array_header(pres.mint, str(pres.length))
-            if codec.conversion == "char":
-                expr = "map(ord, %s)" % expr
-            self._admit_atom(codec)
-            self.chunk.append(
-                _ChunkEntry(codec, pres.length, expr, star=True)
-            )
-            if not self.flags.chunk_atoms or not self.flags.batch_buffer_checks:
-                self.flush()
-            return
-        if codec is not None and pres.length <= UNROLL_LIMIT and header == 0:
-            for index in range(pres.length):
-                self.add_atom(codec, "%s[%d]" % (expr, index))
-            return
-        self._emit_array_header(pres.mint, str(pres.length))
-        self._emit_element_loop(pres.element, expr)
-
-    def _emit_counted_array(self, pres, expr):
-        w = self.w
-        self.flush()
-        n = w.temp("_n")
-        w.line("%s = len(%s)" % (n, expr))
-        if pres.bound is not None:
-            w.line("if %s > %d:" % (n, pres.bound))
-            w.indent()
-            w.line(
-                "raise MarshalError('array exceeds bound %d')" % pres.bound
-            )
-            w.dedent()
-        codec = self._atom_element_codec(pres.element)
-        if codec is not None and self.flags.memcpy_arrays:
-            self._emit_batched_array(pres.mint, codec, expr, n)
-            return
-        self._emit_array_header(pres.mint, n)
-        self._emit_element_loop(pres.element, expr)
-
-    def _emit_batched_array(self, mint_array, codec, expr, n_expr):
-        """Variable atomic array as one header + one array-wide pack."""
-        w = self.w
-        header = self.fmt.array_header_size(mint_array)
-        header_align = self.fmt.array_header_alignment(mint_array)
-        if codec.conversion == "char":
-            expr = "map(ord, %s)" % expr
-        if codec.alignment <= header_align or header == 0:
-            size_expr = "%d + %s * %d" % (header, n_expr, codec.size)
-            offset = self.reserve_dynamic(
-                size_expr, max(header_align, codec.alignment)
-            )
-            position = self._write_header(mint_array, offset, n_expr)
-            base = "%s + %d" % (offset, position) if position else offset
-            w.line(
-                "_pack_into('%s%%d%s' %% %s, %s.data, %s, *%s)"
-                % (self.fmt.endian, codec.format, n_expr, self.b, base, expr)
-            )
-        else:
-            # Element alignment exceeds the header's (e.g. CDR doubles):
-            # two reservations with dynamic alignment between.
-            offset = self.reserve_dynamic(str(header), header_align)
-            self._write_header(mint_array, offset, n_expr)
-            self.static_offset = None
-            self.align_guarantee = header_align
-            offset = self.reserve_dynamic(
-                "%s * %d" % (n_expr, codec.size), codec.alignment
-            )
-            w.line(
-                "_pack_into('%s%%d%s' %% %s, %s.data, %s, *%s)"
-                % (self.fmt.endian, codec.format, n_expr, self.b, offset,
-                   expr)
-            )
-        self.static_offset = None
-        self.align_guarantee = max(
-            _largest_pow2_divisor(codec.size, 8),
-            self.fmt.universal_alignment,
-        )
-
-    def _emit_element_loop(self, element_pres, expr):
-        w = self.w
-        self.flush()
-        element = w.temp("_e")
-        w.line("for %s in %s:" % (element, expr))
-        w.indent()
-        self.enter_unknown()
-        self.emit(element_pres, element)
-        self.flush()
-        w.dedent()
-        self.enter_unknown()
-
-    # -- optional / union ------------------------------------------------
-
-    def _emit_optional(self, pres, expr):
-        w = self.w
-        self.flush()
-        if not expr.isidentifier():
-            temp = w.temp("_v")
-            w.line("%s = %s" % (temp, expr))
-            expr = temp
-        w.line("if %s is None:" % expr)
-        w.indent()
-        self.enter_unknown()
-        self._emit_array_header(pres.mint, "0")
-        self.flush()
-        w.dedent()
-        w.line("else:")
-        w.indent()
-        self.enter_unknown()
-        self._emit_array_header(pres.mint, "1")
-        self.emit(pres.element, expr)
-        self.flush()
-        w.dedent()
-        self.enter_unknown()
-
-    def _emit_union(self, pres, expr):
-        w = self.w
-        self.flush()
-        disc = w.temp("_d")
-        payload = w.temp("_u")
-        w.line("%s, %s = %s" % (disc, payload, expr))
-        codec = self.fmt.atom_codec(pres.mint.discriminator)
-        first = True
-        default_arm = None
-        for arm in pres.arms:
-            if arm.is_default:
-                default_arm = arm
-                continue
-            condition = self._labels_condition(disc, arm.labels)
-            w.line("%s %s:" % ("if" if first else "elif", condition))
-            first = False
-            w.indent()
-            self.enter_unknown()
-            self.add_atom(codec, disc)
-            self.emit(arm.pres, payload)
-            self.flush()
-            w.dedent()
-        w.line("else:" if not first else "if True:")
-        w.indent()
-        self.enter_unknown()
-        if default_arm is not None:
-            self.add_atom(codec, disc)
-            self.emit(default_arm.pres, payload)
-            self.flush()
-        else:
-            w.line(
-                "raise MarshalError('no union arm for discriminator '"
-                " + repr(%s))" % disc
-            )
-        w.dedent()
-        self.enter_unknown()
-
-    @staticmethod
-    def _labels_condition(disc, labels):
-        if len(labels) == 1:
-            return "%s == %r" % (disc, labels[0])
-        return "%s in %r" % (disc, tuple(labels))
-
-
-class UnmarshalEmitter(_EmitterBase):
-    """Emits unmarshal code: statements reading ``d`` at offset var ``o``.
-
-    :meth:`emit` returns a Python *expression* for the decoded value; the
-    expression is valid once :meth:`flush` has been called.  Aggregates
-    compose their field expressions inline, so one chunk decodes a whole
-    fixed-layout region with a single ``unpack_from``.
-    """
-
-    def __init__(self, writer, wire_format, flags, presc, out_of_line,
-                 data_var="d", offset_var="o", zero_copy=False):
-        super().__init__(writer, wire_format, flags, presc, out_of_line)
-        self.d = data_var
-        self.o = offset_var
-        self.zero_copy = zero_copy
-        self._tuple_var = None
-        self._out_count = 0
-
-    # ------------------------------------------------------------------
-    # Chunk machinery
-    # ------------------------------------------------------------------
-
-    def read_atom(self, codec, count=1, star=False):
-        """Queue an atom read; returns the (post-flush) element expression
-        (or tuple-slice expression for starred entries)."""
-        starred = star or count > 1
-        if not self.flags.chunk_atoms:
-            return self._read_atom_now(codec, count, starred)
-        self._admit_atom(codec)
-        if self._tuple_var is None or not self.chunk:
-            self._tuple_var = self.w.temp("_t")
-            self._out_count = 0
-        entry = _ChunkEntry(codec, count, out_index=self._out_count,
-                            star=starred)
-        self.chunk.append(entry)
-        self._out_count += count
-        if starred:
-            return "%s[%d:%d]" % (
-                self._tuple_var, entry.out_index, entry.out_index + count
-            )
-        return "%s[%d]" % (self._tuple_var, entry.out_index)
-
-    def _read_atom_now(self, codec, count, starred=False):
-        """Unchunked per-atom read (baseline-shaped code)."""
-        starred = starred or count > 1
-        self._align_for(codec.alignment)
-        var = self.w.temp("_v")
-        fmt = self.fmt.endian + (
-            "%d%s" % (count, codec.format) if starred else codec.format
-        )
-        if starred:
-            self.w.line(
-                "%s = _unpack_from(%r, %s, %s)" % (var, fmt, self.d, self.o)
-            )
-        else:
-            self.w.line(
-                "%s = _unpack_from(%r, %s, %s)[0]"
-                % (var, fmt, self.d, self.o)
-            )
-        self.w.line("%s += %d" % (self.o, codec.size * count))
-        self._advance(codec.size * count)
-        return var
-
-    def _align_for(self, align):
-        if self.static_offset is not None:
-            pad = -self.static_offset % align
-            if pad:
-                self.w.line("%s += %d" % (self.o, pad))
-                self._advance(pad)
-            return
-        if self.align_guarantee >= align:
-            return
-        self.w.line("%s += -%s %% %d" % (self.o, self.o, align))
-        self.align_guarantee = align
-
-    def flush(self):
-        if not self.chunk:
-            self._tuple_var = None
-            return
-        entries, self.chunk = self.chunk, []
-        self.chunks_emitted += 1
-        self.atoms_emitted += sum(entry.count for entry in entries)
-        tuple_var, self._tuple_var = self._tuple_var, None
-        self._out_count = 0
-        if self.static_offset is not None:
-            fmt, total, _offsets = self._layout(entries, self.static_offset)
-        else:
-            base_align = self._chunk_base_align
-            if self.align_guarantee < base_align:
-                self.w.line(
-                    "%s += -%s %% %d" % (self.o, self.o, base_align)
-                )
-                self.align_guarantee = base_align
-            fmt, total, _offsets = self._layout(entries, 0)
-        self.w.line(
-            "%s = _unpack_from(%r, %s, %s)"
-            % (tuple_var, self.fmt.endian + fmt, self.d, self.o)
-        )
-        self.w.line("%s += %d" % (self.o, total))
-        self._advance(total)
-
-    # ------------------------------------------------------------------
-    # PRES dispatch — returns value expressions
-    # ------------------------------------------------------------------
-
-    def emit(self, pres):
-        if isinstance(pres, p.PresVoid):
-            return "None"
-        if isinstance(pres, p.PresRef):
-            return self._emit_ref(pres)
-        if isinstance(pres, (p.PresDirect, p.PresEnum)):
-            codec = self.fmt.atom_codec(pres.mint)
-            return self.unpack_expr(codec, self.read_atom(codec))
-        if isinstance(pres, p.PresString):
-            return self._emit_string(pres)
-        if isinstance(pres, p.PresBytes):
-            return self._emit_bytes(pres)
-        if isinstance(pres, p.PresFixedArray):
-            return self._emit_fixed_array(pres)
-        if isinstance(pres, p.PresCountedArray):
-            return self._emit_counted_array(pres)
-        if isinstance(pres, p.PresOptPtr):
-            return self._emit_optional(pres)
-        if isinstance(pres, p.PresStruct):
-            return self._emit_struct(pres)
-        if isinstance(pres, p.PresUnion):
-            return self._emit_union(pres)
-        if isinstance(pres, p.PresException):
-            return self._emit_exception(pres)
-        raise BackEndError(
-            "cannot unmarshal PRES node %r" % type(pres).__name__
-        )
-
-    def emit_value(self, pres):
-        """Like :meth:`emit` but flushed and materialized in a variable."""
-        expr = self.emit(pres)
-        self.flush()
-        if expr.isidentifier() or expr == "None":
-            return expr
-        var = self.w.temp("_v")
-        self.w.line("%s = %s" % (var, expr))
-        return var
-
-    def _emit_ref(self, pres):
-        if self.should_outline(pres):
-            function = self.out_of_line.request("u", pres.name)
-            self.flush()
-            var = self.w.temp("_v")
-            self.w.line(
-                "%s, %s = %s(%s, %s)"
-                % (var, self.o, function, self.d, self.o)
-            )
-            self.enter_unknown()
-            return var
-        return self.emit(self.resolve(pres))
-
-    def _emit_struct(self, pres):
-        field_exprs = [
-            self.emit(struct_field.pres) for struct_field in pres.fields
-        ]
-        return "%s(%s)" % (self.mangle(pres.record_name), ", ".join(field_exprs))
-
-    def _emit_exception(self, pres):
-        field_exprs = [
-            self.emit(struct_field.pres) for struct_field in pres.fields
-        ]
-        return "%s(%s)" % (self.mangle(pres.class_name), ", ".join(field_exprs))
-
-    # -- arrays ----------------------------------------------------------
-
-    def _read_array_header(self, mint_array):
-        """Read the length/descriptor header; returns the count expr (a
-        realized variable), or None when the format writes no header."""
-        header = self.fmt.array_header_size(mint_array)
-        if header == 0:
-            return None
-        self.flush()
-        u32 = self.fmt.atom_codec(MintInteger(32, False))
-        if header == 4:
-            self._align_for(self.fmt.array_header_alignment(mint_array))
-            var = self.w.temp("_n")
-            self.w.line(
-                "%s = _unpack_from('%sI', %s, %s)[0]"
-                % (var, self.fmt.endian, self.d, self.o)
-            )
-            self.w.line("%s += 4" % self.o)
-            self._advance(4)
-            return var
-        if header == 8:
-            self._align_for(4)
-            var = self.w.temp("_n")
-            self.w.line(
-                "%s = _unpack_from('%sII', %s, %s)[1]"
-                % (var, self.fmt.endian, self.d, self.o)
-            )
-            self.w.line("%s += 8" % self.o)
-            self._advance(8)
-            return var
-        raise BackEndError("unsupported array header size %d" % header)
-
-    def _check_remaining(self, size_expr):
-        self.w.line("if %s + (%s) > len(%s):" % (self.o, size_expr, self.d))
-        self.w.indent()
-        self.w.line("raise UnmarshalError('message truncated')")
-        self.w.dedent()
-
-    def _emit_string(self, pres):
-        w = self.w
-        self.flush()
-        count = self._read_array_header(pres.mint)
-        if count is None:
-            raise BackEndError("string without a length header")
-        nul = 1 if self.fmt.string_nul_terminated else 0
-        if pres.bound is not None:
-            w.line("if %s > %d:" % (count, pres.bound + nul))
-            w.indent()
-            w.line(
-                "raise UnmarshalError('string exceeds bound %d')" % pres.bound
-            )
-            w.dedent()
-        self._check_remaining(count)
-        var = w.temp("_v")
-        end = "%s + %s%s" % (self.o, count, " - 1" if nul else "")
-        if pres.carries_length:
-            w.line("%s = bytes(%s[%s:%s])" % (var, self.d, self.o, end))
-        elif not self.flags.memcpy_arrays:
-            # Character-at-a-time decode (memcpy ablation).
-            w.line("%s = ''.join(map(chr, %s[%s:%s]))"
-                   % (var, self.d, self.o, end))
-        else:
-            w.line(
-                "%s = bytes(%s[%s:%s]).decode('latin-1')"
-                % (var, self.d, self.o, end)
-            )
-        pad = self._array_pad_expr(pres.mint, count)
-        w.line("%s += %s%s" % (self.o, count, pad))
-        self.static_offset = None
-        self.align_guarantee = self.fmt.universal_alignment
-        return var
-
-    def _array_pad_expr(self, mint_array, count_expr):
-        if self.fmt.pads_byte_runs(mint_array):
-            return " + (-%s %% 4)" % count_expr
-        return ""
-
-    def _emit_bytes(self, pres):
-        w = self.w
-        self.flush()
-        count = self._read_array_header(pres.mint)
-        if pres.fixed_length is not None:
-            if count is not None:
-                w.line("if %s != %d:" % (count, pres.fixed_length))
-                w.indent()
-                w.line(
-                    "raise UnmarshalError('fixed opaque length mismatch')"
-                )
-                w.dedent()
-            count = str(pres.fixed_length)
-        elif count is None:
-            raise BackEndError("variable opaque without a length header")
-        elif pres.bound is not None:
-            w.line("if %s > %d:" % (count, pres.bound))
-            w.indent()
-            w.line(
-                "raise UnmarshalError('opaque exceeds bound %d')" % pres.bound
-            )
-            w.dedent()
-        self._check_remaining(count)
-        var = w.temp("_v")
-        if self.zero_copy:
-            # Present a view into the receive buffer (buffer-storage
-            # reuse, section 3.1): valid only until dispatch returns.
-            w.line("%s = %s[%s:%s + %s]" % (var, self.d, self.o, self.o, count))
-        else:
-            w.line(
-                "%s = bytes(%s[%s:%s + %s])"
-                % (var, self.d, self.o, self.o, count)
-            )
-        pad = self._array_pad_expr(pres.mint, count)
-        w.line("%s += %s%s" % (self.o, count, pad))
-        self.static_offset = None
-        self.align_guarantee = self.fmt.universal_alignment
-        return var
-
-    def _atom_element_codec(self, element_pres):
-        element = self.resolve(element_pres)
-        if isinstance(element, (p.PresDirect, p.PresEnum)):
-            return self.fmt.atom_codec(element.mint), element
-        return None, element
-
-    def _emit_fixed_array(self, pres):
-        codec, _element = self._atom_element_codec(pres.element)
-        count = self._read_array_header(pres.mint)
-        if count is not None:
-            self.w.line("if %s != %d:" % (count, pres.length))
-            self.w.indent()
-            self.w.line("raise UnmarshalError('fixed array length mismatch')")
-            self.w.dedent()
-        if codec is not None and self.flags.memcpy_arrays:
-            slice_expr = self.read_atom(codec, count=pres.length, star=True)
-            return self._convert_atom_slice(codec, slice_expr)
-        if codec is not None and pres.length <= UNROLL_LIMIT and count is None:
-            elements = [
-                self.unpack_expr(codec, self.read_atom(codec))
-                for _ in range(pres.length)
-            ]
-            return "[%s]" % ", ".join(elements)
-        return self._emit_element_loop(pres.element, str(pres.length))
-
-    def _convert_atom_slice(self, codec, slice_expr):
-        if codec.conversion == "char":
-            return "[chr(_c) for _c in %s]" % slice_expr
-        if codec.conversion == "bool":
-            return "[bool(_c) for _c in %s]" % slice_expr
-        return "list(%s)" % slice_expr
-
-    def _emit_counted_array(self, pres):
-        w = self.w
-        count = self._read_array_header(pres.mint)
-        if count is None:
-            raise BackEndError("counted array without a length header")
-        if pres.bound is not None:
-            w.line("if %s > %d:" % (count, pres.bound))
-            w.indent()
-            w.line(
-                "raise UnmarshalError('array exceeds bound %d')" % pres.bound
-            )
-            w.dedent()
-        codec, _element = self._atom_element_codec(pres.element)
-        if codec is not None and self.flags.memcpy_arrays:
-            self._align_for(codec.alignment)
-            self._check_remaining("%s * %d" % (count, codec.size))
-            var = w.temp("_v")
-            raw = "_unpack_from('%s%%d%s' %% %s, %s, %s)" % (
-                self.fmt.endian, codec.format, count, self.d, self.o
-            )
-            w.line("%s = %s" % (var, self._convert_atom_slice(codec, raw)))
-            w.line("%s += %s * %d" % (self.o, count, codec.size))
-            self.static_offset = None
-            self.align_guarantee = max(
-                _largest_pow2_divisor(codec.size, 8),
-                self.fmt.universal_alignment,
-            )
-            return var
-        # Every element consumes at least one byte, so a declared count
-        # beyond the remaining bytes can never decode: reject it before
-        # looping (a forged count would otherwise spin building millions
-        # of elements out of nothing before failing).
-        self._check_remaining(count)
-        return self._emit_element_loop(pres.element, count)
-
-    def _emit_element_loop(self, element_pres, count_expr):
-        w = self.w
-        self.flush()
-        var = w.temp("_v")
-        w.line("%s = []" % var)
-        append = w.temp("_a")
-        w.line("%s = %s.append" % (append, var))
-        w.line("for _ in range(%s):" % count_expr)
-        w.indent()
-        self.enter_unknown()
-        element_expr = self.emit(element_pres)
-        self.flush()
-        w.line("%s(%s)" % (append, element_expr))
-        w.dedent()
-        self.enter_unknown()
-        return var
-
-    # -- optional / union -------------------------------------------------
-
-    def _emit_optional(self, pres):
-        w = self.w
-        count = self._read_array_header(pres.mint)
-        if count is None:
-            raise BackEndError("optional data without a header")
-        var = w.temp("_v")
-        w.line("if %s == 0:" % count)
-        w.indent()
-        w.line("%s = None" % var)
-        w.dedent()
-        w.line("elif %s == 1:" % count)
-        w.indent()
-        self.enter_unknown()
-        element_expr = self.emit(pres.element)
-        self.flush()
-        w.line("%s = %s" % (var, element_expr))
-        w.dedent()
-        w.line("else:")
-        w.indent()
-        w.line("raise UnmarshalError('bad optional count')")
-        w.dedent()
-        self.enter_unknown()
-        return var
-
-    def _emit_union(self, pres):
-        w = self.w
-        self.flush()
-        codec = self.fmt.atom_codec(pres.mint.discriminator)
-        disc = self.unpack_expr(codec, self.read_atom(codec))
-        self.flush()
-        disc_var = w.temp("_d")
-        w.line("%s = %s" % (disc_var, disc))
-        var = w.temp("_v")
-        first = True
-        default_arm = None
-        for arm in pres.arms:
-            if arm.is_default:
-                default_arm = arm
-                continue
-            condition = MarshalEmitter._labels_condition(disc_var, arm.labels)
-            w.line("%s %s:" % ("if" if first else "elif", condition))
-            first = False
-            w.indent()
-            self.enter_unknown()
-            payload = self.emit(arm.pres)
-            self.flush()
-            w.line("%s = (%s, %s)" % (var, disc_var, payload))
-            w.dedent()
-        w.line("else:" if not first else "if True:")
-        w.indent()
-        self.enter_unknown()
-        if default_arm is not None:
-            payload = self.emit(default_arm.pres)
-            self.flush()
-            w.line("%s = (%s, %s)" % (var, disc_var, payload))
-        else:
-            w.line(
-                "raise UnmarshalError('no union arm for discriminator '"
-                " + repr(%s))" % disc_var
-            )
-        w.dedent()
-        self.enter_unknown()
-        return var
+__all__ = ["UNROLL_LIMIT", "largest_pow2_divisor", "mangle"]

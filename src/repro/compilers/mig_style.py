@@ -22,9 +22,7 @@ a "very rigid compiler that produces fast stubs".  Its reproduction:
 from __future__ import annotations
 
 from repro.errors import BackEndError
-from repro.backend.base import OptimizingBackEnd
 from repro.backend.mach3 import Mach3BackEnd
-from repro.backend.pyemit import MarshalEmitter, UnmarshalEmitter
 from repro.core.options import OptFlags
 from repro.pres import nodes as p
 
@@ -33,48 +31,6 @@ from repro.pres import nodes as p
 #: had no cross-call buffer reuse, one of the costs that lets Flick pull
 #: ahead on large messages (Figure 7).
 BASELINE_FLAGS = OptFlags(zero_copy_server=False, reuse_buffers=False)
-
-
-class _MigMarshalEmitter(MarshalEmitter):
-    """Flick-quality scalar code, but arrays stage through a temporary.
-
-    Mach typed-message assembly built out-of-line data lists in a staging
-    area before the kernel copied the message; the extra pass appears here
-    as a bytearray staging buffer per array.
-    """
-
-    def _emit_batched_array(self, mint_array, codec, expr, n_expr):
-        w = self.w
-        staging = w.temp("_stage")
-        if codec.conversion == "char":
-            expr = "map(ord, %s)" % expr
-        w.line("%s = bytearray(%s * %d)" % (staging, n_expr, codec.size))
-        w.line(
-            "_pack_into('%s%%d%s' %% %s, %s, 0, *%s)"
-            % (self.fmt.endian, codec.format, n_expr, staging, expr)
-        )
-        header = self.fmt.array_header_size(mint_array)
-        header_align = self.fmt.array_header_alignment(mint_array)
-        size_expr = "%d + %s * %d" % (header, n_expr, codec.size)
-        offset = self.reserve_dynamic(size_expr, max(header_align, 1))
-        position = self._write_header(mint_array, offset, n_expr)
-        base = "%s + %d" % (offset, position) if position else offset
-        w.line(
-            "%s.data[%s:%s + %s * %d] = %s"
-            % (self.b, base, base, n_expr, codec.size, staging)
-        )
-        self.static_offset = None
-        self.align_guarantee = self.fmt.universal_alignment
-
-    def _emit_byte_run(self, mint_array, data_expr, n_expr, nul=0,
-                       static_count=None):
-        # Byte data stages through a copy as well.
-        w = self.w
-        staging = w.temp("_stage")
-        w.line("%s = bytes(%s)" % (staging, data_expr))
-        super()._emit_byte_run(
-            mint_array, staging, n_expr, nul=nul, static_count=static_count
-        )
 
 
 def _check_mig_type(pres, presc, context, depth=0):
@@ -118,10 +74,13 @@ class MigStyleCompiler(Mach3BackEnd):
     name = "mig"
     origin = "CMU"
     baseline_flags = BASELINE_FLAGS
-    marshal_emitter_class = _MigMarshalEmitter
+    #: Mach typed-message assembly built out-of-line data in a staging
+    #: area before the kernel copied the message; the MIR lowering
+    #: stages array and byte runs through a temporary when this is set.
+    staged_copies = True
 
-    def generate(self, presc, flags=None):
-        return super().generate(presc, self.baseline_flags)
+    def generate(self, presc, flags=None, renderer="py"):
+        return super().generate(presc, self.baseline_flags, renderer)
 
     def supports(self, presc):
         for stub in presc.stubs:

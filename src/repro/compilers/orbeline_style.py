@@ -306,8 +306,13 @@ class OrbelineStyleCompiler(IiopBackEnd):
     origin = "Visigenic"
     baseline_flags = BASELINE_FLAGS
 
-    def generate(self, presc, flags=None):
-        return super().generate(presc, self.baseline_flags)
+    def generate(self, presc, flags=None, renderer="py"):
+        return super().generate(presc, self.baseline_flags, renderer)
+
+    def _emit_codec_functions(self, w, presc, flags, metadata):
+        # Rival code styles bypass the marshal IR and write codec text
+        # directly through the CDR stream emitter.
+        return self._emit_codec_functions_writer(w, presc, flags, metadata)
 
     def _emit_preamble(self, w, presc):
         super()._emit_preamble(w, presc)

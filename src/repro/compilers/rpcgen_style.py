@@ -316,10 +316,15 @@ class RpcgenStyleCompiler(OncXdrBackEnd):
     origin = "Sun"
     baseline_flags = BASELINE_FLAGS
 
-    def generate(self, presc, flags=None):
+    def generate(self, presc, flags=None, renderer="py"):
         # Baselines have a fixed code style; optimization flags are not
         # applicable and are ignored.
-        return super().generate(presc, self.baseline_flags)
+        return super().generate(presc, self.baseline_flags, renderer)
+
+    def _emit_codec_functions(self, w, presc, flags, metadata):
+        # Rival code styles bypass the marshal IR and write codec text
+        # directly through the naive emitter.
+        return self._emit_codec_functions_writer(w, presc, flags, metadata)
 
     def _emit_preamble(self, w, presc):
         super()._emit_preamble(w, presc)

@@ -112,7 +112,7 @@ class Flick:
     """
 
     def __init__(self, frontend="corba", presentation=None, backend=None,
-                 flags=None, **backend_options):
+                 flags=None, renderer="py", **backend_options):
         if not FRONTENDS:
             _register_frontends()
         if frontend not in FRONTENDS:
@@ -124,6 +124,7 @@ class Flick:
         self.presentation = presentation or DEFAULT_PRESENTATION[frontend]
         self.backend = backend or DEFAULT_BACKEND[self.presentation]
         self.flags = flags or OptFlags()
+        self.renderer = renderer
         self.backend_options = backend_options
 
     # ------------------------------------------------------------------
@@ -176,7 +177,8 @@ class Flick:
         phase_started = perf_counter()
         with trace.span("compile.emit"):
             backend = make_backend(self.backend, **self.backend_options)
-            stubs = backend.generate(presc, self.flags)
+            stubs = backend.generate(presc, self.flags,
+                                     renderer=self.renderer)
         timings["emit_s"] = perf_counter() - phase_started
         timings["total_s"] = perf_counter() - total_started
         return CompileResult(

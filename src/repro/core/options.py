@@ -51,6 +51,16 @@ class OptFlags:
             this for "a future version of Flick"; here it also lifts
             Python's recursion limit off deep lists.  Wire bytes are
             unchanged.
+        fold_header_constants: fold constant leading reply-body atoms
+            (status discriminators, descriptor words) into the reply
+            header byte template, one template constant per reply
+            function (an IR→IR pass; wire bytes are unchanged).
+        dedup_out_of_line: merge structurally identical out-of-line
+            helper functions and alias their call sites (an IR→IR pass).
+
+    Flag names ending up in generated-code shape are 1:1 with the MIR
+    pass names (:data:`repro.mir.passes.PASS_NAMES`), so the same names
+    toggle passes from the CLI (``--disable-pass``) and benchmarks.
     """
 
     inline_marshal: bool = True
@@ -61,10 +71,26 @@ class OptFlags:
     hash_demux: bool = True
     reuse_buffers: bool = True
     iterative_lists: bool = True
+    fold_header_constants: bool = True
+    dedup_out_of_line: bool = True
 
     def but(self, **changes):
         """Return a copy with *changes* applied (ablation helper)."""
         return replace(self, **changes)
+
+    def disable_pass(self, name):
+        """Return a copy with the MIR pass *name* turned off.
+
+        Unknown names raise ValueError listing the available passes.
+        """
+        from repro.mir.passes import PASS_NAMES
+
+        if name not in PASS_NAMES:
+            raise ValueError(
+                "unknown pass %r; available passes: %s"
+                % (name, ", ".join(sorted(PASS_NAMES)))
+            )
+        return replace(self, **{name: False})
 
     @classmethod
     def all_off(cls):
@@ -78,4 +104,6 @@ class OptFlags:
             hash_demux=False,
             reuse_buffers=False,
             iterative_lists=False,
+            fold_header_constants=False,
+            dedup_out_of_line=False,
         )

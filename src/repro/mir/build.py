@@ -1,0 +1,501 @@
+"""Build marshal IR from PRES_C: one walk, one :class:`MirProgram`.
+
+This module owns the *function drivers*: which codec functions exist for
+an interface, their names, parameters, and the header/body/tail sequence
+inside each.  The per-type lowering lives in :mod:`repro.mir.lower`;
+protocol policy (header templates, reply-status tails) comes from the
+back end's hooks.
+
+Functions appear in the program in module emission order — for each
+stub: request marshal, request unmarshal, then (unless oneway) the reply
+marshals and the reply unmarshal — followed by the out-of-line helpers
+in first-reference order.
+"""
+
+from __future__ import annotations
+
+from repro.mint.analysis import is_recursive
+from repro.pres import nodes as p
+
+from repro.mir import lower
+from repro.mir import ops as m
+
+
+def build_program(backend, presc, flags):
+    """Lower every codec function for *presc* into a MirProgram."""
+    out_of_line = lower.OutOfLineSet()
+    program = m.MirProgram(
+        interface_name=presc.interface_name,
+        wire_name=backend.name,
+    )
+    for stub in presc.stubs:
+        program.functions.append(
+            _build_request_marshal(backend, presc, stub, flags, out_of_line)
+        )
+        program.functions.append(
+            _build_request_unmarshal(backend, presc, stub, flags,
+                                     out_of_line)
+        )
+        if not stub.oneway:
+            program.functions.extend(
+                _build_reply_marshals(backend, presc, stub, flags,
+                                      out_of_line)
+            )
+            program.functions.append(
+                _build_reply_unmarshal(backend, presc, stub, flags,
+                                       out_of_line)
+            )
+    _drain_out_of_line(backend, presc, flags, out_of_line, program)
+    return program
+
+
+def _marshal_lower(backend, presc, flags, out_of_line):
+    low = lower.MarshalLower(
+        backend.wire_format, flags, presc, out_of_line
+    )
+    low.staged_copies = getattr(backend, "staged_copies", False)
+    return low
+
+
+def _size_patch(low, spec):
+    if spec.size_patch is not None:
+        offset, fmt_text, delta = spec.size_patch
+        low.add(m.HeaderPatch(offset=offset, fmt=fmt_text, delta=delta))
+
+
+def _build_request_marshal(backend, presc, stub, flags, out_of_line):
+    spec = backend.request_header(presc, stub)
+    const = "_H_req_%s" % stub.operation_name
+    in_parameters = stub.in_parameters()
+    # Internal argument names avoid any collision with generated locals
+    # (IDL identifiers cannot begin with an underscore).
+    arg_names = ["_a%d" % index for index in range(len(in_parameters))]
+    low = _marshal_lower(backend, presc, flags, out_of_line)
+    low.add(m.PutHeader(const, spec.template, tuple(spec.patches)))
+    low.reset(static_offset=len(spec.template))
+    for parameter, arg_name in zip(in_parameters, arg_names):
+        low.emit(parameter.pres, arg_name)
+    low.flush()
+    _size_patch(low, spec)
+    return m.MirFunction(
+        name="_m_req_%s" % stub.operation_name,
+        kind="m_req",
+        params=tuple(["b", "_ctx"] + arg_names),
+        ops=low.ops,
+        consts={const: spec.template},
+        chunks=low.chunks_emitted,
+        atoms=low.atoms_emitted,
+        operation=stub.operation_name,
+    )
+
+
+def _build_request_unmarshal(backend, presc, stub, flags, out_of_line):
+    low = lower.UnmarshalLower(
+        backend.wire_format, flags, presc, out_of_line,
+        zero_copy=flags.zero_copy_server,
+    )
+    low.reset(static_offset=None)
+    low.static_offset = backend._request_body_offset(presc, stub)
+    low.align_guarantee = backend.wire_format.universal_alignment
+    exprs = [
+        low.emit(parameter.pres) for parameter in stub.in_parameters()
+    ]
+    low.flush()
+    low.add(m.Return(kind="args", exprs=tuple(exprs)))
+    return m.MirFunction(
+        name="_u_req_%s" % stub.operation_name,
+        kind="u_req",
+        params=("d", "o"),
+        ops=low.ops,
+        chunks=low.chunks_emitted,
+        atoms=low.atoms_emitted,
+        operation=stub.operation_name,
+    )
+
+
+def _build_reply_marshals(backend, presc, stub, flags, out_of_line):
+    spec = backend.reply_header(presc, stub)
+    const = "_H_rep_%s" % stub.operation_name
+    disc_codec = backend.wire_format.atom_codec(
+        stub.reply_pres.mint.discriminator
+    )
+    functions = []
+    # Success reply.
+    success_arm = stub.reply_pres.arms[0]
+    result_fields = success_arm.pres.fields
+    arg_names = ["_r_%s" % f.name.lstrip("_") for f in result_fields]
+    low = _marshal_lower(backend, presc, flags, out_of_line)
+    low.add(m.PutHeader(const, spec.template, tuple(spec.patches)))
+    low.reset(static_offset=len(spec.template))
+    low.add_atom(disc_codec, "0")
+    for struct_field in result_fields:
+        low.emit(
+            struct_field.pres, "_r_%s" % struct_field.name.lstrip("_")
+        )
+    low.flush()
+    _size_patch(low, spec)
+    functions.append(m.MirFunction(
+        name="_m_rep_ok_%s" % stub.operation_name,
+        kind="m_rep_ok",
+        params=tuple(["b", "_ctx"] + arg_names),
+        ops=low.ops,
+        consts={const: spec.template},
+        chunks=low.chunks_emitted,
+        atoms=low.atoms_emitted,
+        operation=stub.operation_name,
+    ))
+    # One marshal function per exception arm.
+    for arm in stub.reply_pres.arms[1:]:
+        label = arm.labels[0]
+        low = _marshal_lower(backend, presc, flags, out_of_line)
+        low.add(m.PutHeader(const, spec.template, tuple(spec.patches)))
+        low.reset(static_offset=len(spec.template))
+        low.add_atom(disc_codec, str(label))
+        low.emit(arm.pres, "_exc")
+        low.flush()
+        _size_patch(low, spec)
+        functions.append(m.MirFunction(
+            name="_m_rep_x%d_%s" % (label, stub.operation_name),
+            kind="m_rep_exc",
+            params=("b", "_ctx", "_exc"),
+            ops=low.ops,
+            chunks=low.chunks_emitted,
+            atoms=low.atoms_emitted,
+            operation=stub.operation_name,
+        ))
+    return functions
+
+
+def _build_reply_unmarshal(backend, presc, stub, flags, out_of_line):
+    """Decode the reply body: return results or raise the exception."""
+    low = lower.UnmarshalLower(
+        backend.wire_format, flags, presc, out_of_line
+    )
+    low.reset(static_offset=None)
+    low.static_offset = backend._reply_body_offset(presc, stub)
+    low.align_guarantee = backend.wire_format.universal_alignment
+    disc_codec = backend.wire_format.atom_codec(
+        stub.reply_pres.mint.discriminator
+    )
+    disc = low.read_atom(disc_codec)
+    low.flush()
+    low.add(m.Bind("_d", disc))
+    success_arm = stub.reply_pres.arms[0]
+    low.push_body()
+    low.enter_unknown()
+    exprs = [
+        low.emit(struct_field.pres)
+        for struct_field in success_arm.pres.fields
+    ]
+    low.flush()
+    # Materialize the result, then reject trailing garbage: a reply that
+    # decodes but leaves bytes behind is a framing bug or an attack.
+    if not exprs:
+        low.add(m.CheckEnd())
+        low.add(m.Return(kind="plain", exprs=()))
+    elif len(exprs) == 1:
+        low.add(m.Bind("_rv", exprs[0]))
+        low.add(m.CheckEnd())
+        low.add(m.Return(kind="plain", exprs=("_rv",)))
+    else:
+        low.add(m.Bind("_rv", "(%s)" % ", ".join(exprs)))
+        low.add(m.CheckEnd())
+        low.add(m.Return(kind="plain", exprs=("_rv",)))
+    arms = [m.BranchArm("_d == 0", low.pop_body())]
+    for arm in stub.reply_pres.arms[1:]:
+        low.push_body()
+        low.enter_unknown()
+        value = low.emit(arm.pres)
+        low.flush()
+        low.add(m.Bind("_rx", value))
+        low.add(m.CheckEnd())
+        low.add(m.Raise(value_expr="_rx"))
+        arms.append(m.BranchArm("_d == %d" % arm.labels[0],
+                                low.pop_body()))
+    low.add(m.Branch(arms=arms))
+    low.add(m.ReplyErrorTail(ops=backend.reply_error_tail_ops(presc)))
+    return m.MirFunction(
+        name="_u_rep_%s" % stub.operation_name,
+        kind="u_rep",
+        params=("d", "o"),
+        ops=low.ops,
+        chunks=low.chunks_emitted,
+        atoms=low.atoms_emitted,
+        operation=stub.operation_name,
+    )
+
+
+def _drain_out_of_line(backend, presc, flags, out_of_line, program):
+    """Lower queued out-of-line marshal/unmarshal helper functions."""
+    while out_of_line.pending:
+        kind, name = out_of_line.pending.pop(0)
+        pres = presc.pres_registry[name]
+        function = "_%s_%s" % (kind, m.mangle(name))
+        list_shape = None
+        if flags.iterative_lists:
+            list_shape = tail_recursive_list(pres, presc, name)
+        if kind == "m":
+            low = _marshal_lower(backend, presc, flags, out_of_line)
+            low.enter_unknown()
+            if list_shape is not None:
+                _lower_iterative_list_marshal(low, list_shape)
+            else:
+                # The body must not immediately outline itself.
+                low.emit(_inline_target(pres, presc), "v")
+                low.flush()
+            fn = m.MirFunction(
+                name=function, kind="m_helper", params=("b", "v"),
+                ops=low.ops, chunks=low.chunks_emitted,
+                atoms=low.atoms_emitted, type_name=name,
+            )
+        else:
+            low = lower.UnmarshalLower(
+                backend.wire_format, flags, presc, out_of_line
+            )
+            low.enter_unknown()
+            if list_shape is not None:
+                _lower_iterative_list_unmarshal(low, list_shape)
+            else:
+                value = low.emit_value(_inline_target(pres, presc))
+                low.add(m.Return(kind="value", exprs=(value,)))
+            fn = m.MirFunction(
+                name=function, kind="u_helper", params=("d", "o"),
+                ops=low.ops, chunks=low.chunks_emitted,
+                atoms=low.atoms_emitted, type_name=name,
+            )
+        program.functions.append(fn)
+
+
+def _lower_iterative_list_marshal(low, list_shape):
+    """Marshal a self-referential list with a loop (footnote 5).
+
+    Wire-identical to the recursive version: for each node, the leading
+    fields, then the tail optional's presence word.
+    """
+    struct_pres, tail_name, tail_pres = list_shape
+    low.push_body()
+    low.enter_unknown()
+    for struct_field in struct_pres.fields[:-1]:
+        low.emit(struct_field.pres, "v.%s" % struct_field.name)
+    low.flush()
+    node_ops = low.pop_body()
+    low.push_body()
+    low.enter_unknown()
+    low._emit_array_header(tail_pres.mint, "0")
+    low.flush()
+    stop_ops = low.pop_body()
+    low.push_body()
+    low.enter_unknown()
+    low._emit_array_header(tail_pres.mint, "1")
+    low.flush()
+    next_ops = low.pop_body()
+    low.add(m.ListLoop(
+        kind="m", tail_name=tail_name, node_ops=node_ops,
+        stop_ops=stop_ops, next_ops=next_ops,
+    ))
+
+
+def _lower_iterative_list_unmarshal(low, list_shape):
+    struct_pres, tail_name, tail_pres = list_shape
+    record = m.mangle(struct_pres.record_name)
+    low.push_body()
+    head_exprs = [
+        low.emit(struct_field.pres)
+        for struct_field in struct_pres.fields[:-1]
+    ]
+    low.flush()
+    head_ops = low.pop_body()
+    low.push_body()
+    low.enter_unknown()
+    flag = low._read_array_header(tail_pres.mint)
+    flag_ops = low.pop_body()
+    low.push_body()
+    low.enter_unknown()
+    field_exprs = [
+        low.emit(struct_field.pres)
+        for struct_field in struct_pres.fields[:-1]
+    ]
+    low.flush()
+    node_ops = low.pop_body()
+    low.add(m.ListLoop(
+        kind="u", record=record, tail_name=tail_name,
+        node_ops=node_ops, flag_ops=flag_ops, flag_var=flag,
+        field_exprs=tuple(field_exprs), head_ops=head_ops,
+        head_exprs=tuple(head_exprs),
+    ))
+
+
+def _inline_target(pres, presc):
+    if isinstance(pres, p.PresRef):
+        return presc.pres_registry[pres.name]
+    return pres
+
+
+def tail_recursive_list(pres, presc, name):
+    """Detect the classic list shape: a struct whose *last* field is an
+    optional pointer back to the type itself, with no other recursion.
+
+    Returns ``(struct_pres, tail_field_name, tail_optptr)`` or None.
+    """
+    target = pres
+    while isinstance(target, p.PresRef):
+        target = presc.pres_registry[target.name]
+    if not isinstance(target, p.PresStruct) or not target.fields:
+        return None
+    tail = target.fields[-1]
+    tail_pres = tail.pres
+    if not isinstance(tail_pres, p.PresOptPtr):
+        return None
+    element = tail_pres.element
+    if not (isinstance(element, p.PresRef) and element.name == name):
+        return None
+    # Leading fields must not themselves recurse, or a loop is unsound.
+    for struct_field in target.fields[:-1]:
+        mint = getattr(struct_field.pres, "mint", None)
+        if mint is not None and is_recursive(mint, presc.mint_registry):
+            return None
+    return target, tail.name, tail_pres
+
+
+# ----------------------------------------------------------------------
+# Naive type IR (flag-independent; one PRES_C walk)
+# ----------------------------------------------------------------------
+
+
+def build_naive(backend, presc, flags=None):
+    """Build the direction-neutral naive type IR for *presc*.
+
+    This is the pre-optimization view ``flick ir`` shows: what travels
+    on the wire per operation, before lowering decides chunk layouts.
+    """
+    fmt = backend.wire_format
+    program = m.NaiveProgram(
+        interface_name=presc.interface_name,
+        wire_name=backend.name,
+    )
+
+    def node(pres):
+        pres_node = pres
+        if isinstance(pres_node, p.PresVoid):
+            return m.TVoid(pres=pres_node)
+        if isinstance(pres_node, p.PresRef):
+            ref = m.TRef(
+                pres=pres_node, name=pres_node.name,
+                recursive=is_recursive(
+                    pres_node.mint, presc.mint_registry
+                ),
+            )
+            if pres_node.name not in program.types:
+                program.types[pres_node.name] = None  # cycle guard
+                program.types[pres_node.name] = node(
+                    presc.pres_registry[pres_node.name]
+                )
+            return ref
+        if isinstance(pres_node, (p.PresDirect, p.PresEnum)):
+            return m.TAtom(
+                pres=pres_node, codec=fmt.atom_codec(pres_node.mint),
+                mint=pres_node.mint,
+            )
+        if isinstance(pres_node, p.PresString):
+            return m.TString(
+                pres=pres_node, mint=pres_node.mint,
+                bound=pres_node.bound,
+                carries_length=pres_node.carries_length,
+            )
+        if isinstance(pres_node, p.PresBytes):
+            return m.TBytes(
+                pres=pres_node, mint=pres_node.mint,
+                bound=pres_node.bound,
+                fixed_length=pres_node.fixed_length,
+            )
+        if isinstance(pres_node, p.PresFixedArray):
+            return m.TFixedArray(
+                pres=pres_node, mint=pres_node.mint,
+                length=pres_node.length,
+                element=node(pres_node.element),
+                element_codec=_element_codec(fmt, presc, pres_node.element),
+            )
+        if isinstance(pres_node, p.PresCountedArray):
+            return m.TCountedArray(
+                pres=pres_node, mint=pres_node.mint,
+                bound=pres_node.bound,
+                element=node(pres_node.element),
+                element_codec=_element_codec(fmt, presc, pres_node.element),
+            )
+        if isinstance(pres_node, p.PresOptPtr):
+            return m.TOptional(
+                pres=pres_node, mint=pres_node.mint,
+                element=node(pres_node.element),
+            )
+        if isinstance(pres_node, p.PresStruct):
+            return m.TStruct(
+                pres=pres_node, record_name=pres_node.record_name,
+                fields=[
+                    m.TStructField(f.name, node(f.pres))
+                    for f in pres_node.fields
+                ],
+            )
+        if isinstance(pres_node, p.PresException):
+            return m.TException(
+                pres=pres_node, class_name=pres_node.class_name,
+                fields=[
+                    m.TStructField(f.name, node(f.pres))
+                    for f in pres_node.fields
+                ],
+            )
+        if isinstance(pres_node, p.PresUnion):
+            return m.TUnion(
+                pres=pres_node,
+                disc_codec=fmt.atom_codec(pres_node.mint.discriminator),
+                arms=[
+                    m.TUnionArm(tuple(arm.labels), arm.is_default,
+                                node(arm.pres))
+                    for arm in pres_node.arms
+                ],
+            )
+        return m.TypeNode(pres=pres_node)
+
+    for stub in presc.stubs:
+        request = m.TypeChannel(items=[
+            (parameter.name, node(parameter.pres))
+            for parameter in stub.in_parameters()
+        ])
+        reply_arms = None
+        if stub.reply_pres is not None:
+            reply_arms = []
+            for index, arm in enumerate(stub.reply_pres.arms):
+                label = "ok" if index == 0 else "x%d" % arm.labels[0]
+                if isinstance(arm.pres, p.PresStruct):
+                    channel = m.TypeChannel(items=[
+                        (f.name, node(f.pres)) for f in arm.pres.fields
+                    ])
+                else:
+                    channel = m.TypeChannel(
+                        items=[("value", node(arm.pres))]
+                    )
+                reply_arms.append((label, channel))
+        program.operations[stub.operation_name] = {
+            "request": request,
+            "reply_arms": reply_arms,
+            "oneway": stub.oneway,
+        }
+    if flags is None or flags.iterative_lists:
+        for name, pres in presc.pres_registry.items():
+            shape = tail_recursive_list(pres, presc, name)
+            if shape is not None:
+                struct_pres, tail_name, tail_pres = shape
+                struct_node = node(struct_pres)
+                program.list_shapes[name] = m.ListShape(
+                    struct=struct_node, tail_name=tail_name,
+                    tail=struct_node.fields[-1].node,
+                )
+    return program
+
+
+def _element_codec(fmt, presc, element_pres):
+    element = element_pres
+    if isinstance(element, p.PresRef):
+        element = presc.pres_registry[element.name]
+    if isinstance(element, (p.PresDirect, p.PresEnum)):
+        return fmt.atom_codec(element.mint)
+    return None

@@ -7,7 +7,9 @@ presentation generator, and a back end, and get stubs out::
     flick compile db.x --frontend oncrpc --backend oncrpc-xdr --emit c,py
     flick compile arith.defs --frontend mig -o out/
     flick compile mail.idl --baseline rpcgen      # a comparator's stubs
+    flick compile db.x --disable-pass chunk_atoms # ablate one MIR pass
     flick inspect mail.idl                        # storage/demux analyses
+    flick ir mail.idl --op send                   # dump the marshal IR
     flick diff old.idl new.idl --json             # wire-compatibility diff
     flick lint mail.x                             # schema-evolution lint
     flick list
@@ -76,6 +78,12 @@ def build_parser():
              " (e.g. chunk_atoms,memcpy_arrays)",
     )
     compile_parser.add_argument(
+        "--disable-pass", action="append", default=[], metavar="NAME",
+        dest="disable_pass",
+        help="turn off one MIR optimization pass by name (repeatable;"
+             " an unknown name lists the available passes)",
+    )
+    compile_parser.add_argument(
         "--little-endian", action="store_true",
         help="generate little-endian CDR stubs (IIOP back end only)",
     )
@@ -88,6 +96,32 @@ def build_parser():
         "--timing", action="store_true",
         help="report per-phase compile times (parse, AOI lowering,"
              " presentation, back-end emit) and generated-stub sizes",
+    )
+
+    ir_parser = sub.add_parser(
+        "ir",
+        help="dump the marshal IR the optimizing back end compiles",
+    )
+    ir_parser.add_argument("input", help="IDL source file")
+    ir_parser.add_argument(
+        "--frontend", choices=("corba", "oncrpc", "mig"), default=None,
+        help="IDL front end (default: guessed from the file suffix)",
+    )
+    ir_parser.add_argument("--pgen", default=None)
+    ir_parser.add_argument("--backend", default=None)
+    ir_parser.add_argument("--interface", default=None)
+    ir_parser.add_argument(
+        "--op", default=None, metavar="NAME",
+        help="dump only the functions of this operation",
+    )
+    ir_parser.add_argument(
+        "--no-opt", action="store_true",
+        help="dump the unoptimized IR (every pass off)",
+    )
+    ir_parser.add_argument(
+        "--disable-pass", action="append", default=[], metavar="NAME",
+        dest="disable_pass",
+        help="turn off one MIR pass by name (repeatable)",
     )
 
     inspect_parser = sub.add_parser(
@@ -238,9 +272,16 @@ def _build_flags(args):
     from repro.core import OptFlags
 
     flags = OptFlags.all_off() if args.no_opt else OptFlags()
-    disabled = [name for name in args.disable.split(",") if name]
+    disabled = [
+        name for name in getattr(args, "disable", "").split(",") if name
+    ]
     if disabled:
         flags = flags.but(**{name: False for name in disabled})
+    for name in getattr(args, "disable_pass", ()):
+        try:
+            flags = flags.disable_pass(name)
+        except ValueError as error:
+            raise FlickError(str(error))
     return flags
 
 
@@ -351,6 +392,38 @@ def _write(path, content, written):
     with open(path, "w") as handle:
         handle.write(content)
     written.append(path)
+
+
+def command_ir(args):
+    """Dump the (optimized) marshal IR for one interface."""
+    from repro import api
+    from repro.mir.dump import dump_program
+
+    with open(args.input) as handle:
+        text = handle.read()
+    lang = _guess_frontend(args.input, text, args.frontend)
+    flags = _build_flags(args)
+    result = api.compile(
+        text, lang, interface=args.interface, flags=flags,
+        name=args.input, presentation=args.pgen, backend=args.backend,
+    )
+    program = result.stubs.mir
+    if program is None:
+        raise FlickError(
+            "the %s back end produced no marshal IR"
+            % result.stubs.backend_name
+        )
+    if args.op is not None:
+        operations = sorted(
+            {fn.operation for fn in program.functions if fn.operation}
+        )
+        if args.op not in operations:
+            raise FlickError(
+                "no operation %r; have: %s"
+                % (args.op, ", ".join(operations))
+            )
+    print(dump_program(program, op_filter=args.op), end="")
+    return 0
 
 
 def command_inspect(args):
@@ -666,6 +739,8 @@ def main(argv=None):
     try:
         if args.command == "compile":
             return command_compile(args)
+        if args.command == "ir":
+            return command_ir(args)
         if args.command == "inspect":
             return command_inspect(args)
         if args.command == "serve":
