@@ -164,6 +164,17 @@ class IiopBackEnd(OptimizingBackEnd):
         w.line("o += 5  # request id + response_expected octet")
         w.line("o += -o % 4")
         w.line("_kl = _unpack_from('%sI', d, o)[0]" % endian)
+        # The object key names the target interface.  ONC RPC servers
+        # reject a wrong program number with PROG_UNAVAIL; match that
+        # rigor (and give the cross-protocol error map a two-sided
+        # pairing) by rejecting a wrong object key with
+        # OBJECT_NOT_EXIST instead of dispatching it anyway.
+        w.line("if bytes(d[o + 4:o + 4 + _kl]) != %r:"
+               % self.object_key(presc))
+        w.indent()
+        w.line("raise DispatchError('unknown object key',"
+               " code='object_not_exist')")
+        w.dedent()
         w.line("o += 4 + _kl")
         w.line("o += -o % 4")
         w.line("_ol = _unpack_from('%sI', d, o)[0]" % endian)
@@ -309,6 +320,16 @@ class IiopBackEnd(OptimizingBackEnd):
         w.line("elif getattr(error, 'code', None) == 'bad_operation':")
         w.indent()
         w.line("_id = b'IDL:omg.org/CORBA/BAD_OPERATION:1.0\\x00'")
+        w.line("_cmp = 1")
+        w.dedent()
+        w.line("elif getattr(error, 'code', None) == 'object_not_exist':")
+        w.indent()
+        w.line("_id = b'IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0\\x00'")
+        w.line("_cmp = 1")
+        w.dedent()
+        w.line("elif getattr(error, 'code', None) == 'no_permission':")
+        w.indent()
+        w.line("_id = b'IDL:omg.org/CORBA/NO_PERMISSION:1.0\\x00'")
         w.line("_cmp = 1")
         w.dedent()
         w.line("elif isinstance(error, (WireFormatError, UnmarshalError,"

@@ -25,6 +25,15 @@ The diff is directional and per wire format.  Asymmetries this encodes:
 Static byte offsets are tracked while the preceding layout is fixed
 (atoms, fixed arrays of atoms) and become ``None`` after the first
 variable-size region; findings report the last known offset.
+
+**Transcoded mode** (``receiver_format``): when the sender and receiver
+speak *different* wire formats, bytes never flow directly between them —
+a gateway decodes the sender's message under the sender's schema and
+format and re-encodes the values under the receiver's.  Byte-layout
+questions (sizes, alignments, NUL conventions) become irrelevant; what
+must line up is the *value channel*: node kinds, field arity, value
+ranges, bounds, and union arm coverage.  The same walk runs with the
+layout comparisons swapped for value-capacity comparisons.
 """
 
 from __future__ import annotations
@@ -32,13 +41,14 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.mint.analysis import StorageClass, analyze_storage
+from repro.mint.types import MintFloat, MintInteger
 from repro.pres import nodes as p
 from repro.compat.verdict import Finding, Verdict, worst
 
 
 def diff_message(sender_pres, receiver_pres, sender_presc, receiver_presc,
                  wire_format, *, path="message", offset=0,
-                 tolerate_trailing=False):
+                 tolerate_trailing=False, receiver_format=None):
     """Diff one message; returns ``(verdict, findings)``.
 
     ``sender_pres``/``receiver_pres`` are the message roots (a request
@@ -46,10 +56,18 @@ def diff_message(sender_pres, receiver_pres, sender_presc, receiver_presc,
     the body from the start of the message (the header template length).
     ``tolerate_trailing`` marks channels whose decoder ignores bytes past
     the last declared field (request bodies).
+
+    ``receiver_format`` switches on transcoded mode: the receiver's
+    decoder runs under its own wire format and a gateway re-encodes
+    values in between, so the diff compares value capacity instead of
+    byte layout (see the module docstring).  ``tolerate_trailing`` is
+    ignored in transcoded mode — a gateway re-encode is positional, so
+    extra sender fields have nowhere to go.
     """
     differ = _MessageDiffer(
         sender_presc, receiver_presc, wire_format,
         tolerate_trailing=tolerate_trailing,
+        receiver_format=receiver_format,
     )
     differ.diff(sender_pres, receiver_pres, path, offset, root=True)
     findings = tuple(differ.findings)
@@ -58,11 +76,13 @@ def diff_message(sender_pres, receiver_pres, sender_presc, receiver_presc,
 
 class _MessageDiffer:
     def __init__(self, sender_presc, receiver_presc, wire_format,
-                 tolerate_trailing=False):
+                 tolerate_trailing=False, receiver_format=None):
         self.s_presc = sender_presc
         self.r_presc = receiver_presc
         self.fmt = wire_format
-        self.tolerate_trailing = tolerate_trailing
+        self.r_fmt = receiver_format or wire_format
+        self.transcoded = receiver_format is not None
+        self.tolerate_trailing = tolerate_trailing and not self.transcoded
         self.findings: List[Finding] = []
         self._walking = set()
 
@@ -153,10 +173,13 @@ class _MessageDiffer:
 
     def _diff_atom(self, sender, receiver, path, offset, root):
         s_codec = self.fmt.atom_codec(sender.mint)
-        r_codec = self.fmt.atom_codec(receiver.mint)
+        r_codec = self.r_fmt.atom_codec(receiver.mint)
         if offset is not None:
             offset += -offset % s_codec.alignment
         after = None if offset is None else offset + s_codec.size
+        if self.transcoded:
+            return self._diff_atom_value(
+                sender, receiver, s_codec, r_codec, path, offset, after)
         if (s_codec.format, s_codec.size, s_codec.alignment) \
                 != (r_codec.format, r_codec.size, r_codec.alignment):
             self.note(
@@ -198,19 +221,94 @@ class _MessageDiffer:
                 )
         return after
 
+    def _diff_atom_value(self, sender, receiver, s_codec, r_codec,
+                         path, offset, after):
+        """Transcoded atoms: the gateway re-encodes the decoded value, so
+        only the value channel matters — conversion kind and range."""
+        if s_codec.conversion != r_codec.conversion:
+            if (s_codec.conversion, r_codec.conversion) == ("bool", "int"):
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "presented type widened bool -> int across the bridge",
+                    offset,
+                )
+            else:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "presented atom kind changed (%s -> %s): the decoded "
+                    "value cannot be re-encoded on the other protocol"
+                    % (s_codec.conversion, r_codec.conversion),
+                    offset,
+                )
+                return after
+        s_mint, r_mint = sender.mint, receiver.mint
+        if isinstance(s_mint, MintInteger) and isinstance(r_mint, MintInteger):
+            s_lo, s_hi = s_mint.range()
+            r_lo, r_hi = r_mint.range()
+            if s_lo < r_lo or s_hi > r_hi:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "integer range narrowed across the bridge: sender "
+                    "[%d, %d] exceeds receiver [%d, %d]; out-of-range "
+                    "values fail to re-encode"
+                    % (s_lo, s_hi, r_lo, r_hi),
+                    offset,
+                )
+            elif (s_lo, s_hi) != (r_lo, r_hi):
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "integer range widened across the bridge: every "
+                    "sender-legal value re-encodes",
+                    offset,
+                )
+        elif isinstance(s_mint, MintFloat) and isinstance(r_mint, MintFloat):
+            if s_mint.bits > r_mint.bits:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "float narrowed %d -> %d bits across the bridge: "
+                    "values beyond float32 range fail to re-encode"
+                    % (s_mint.bits, r_mint.bits),
+                    offset,
+                )
+            elif s_mint.bits < r_mint.bits:
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "float widened %d -> %d bits across the bridge"
+                    % (s_mint.bits, r_mint.bits),
+                    offset,
+                )
+        if isinstance(sender, p.PresEnum) and isinstance(receiver, p.PresEnum):
+            s_values = {value for _, value in sender.members}
+            r_values = {value for _, value in receiver.members}
+            if not s_values <= r_values:
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "enum members %s absent from the far side; their "
+                    "ordinals re-encode as raw integers"
+                    % sorted(s_values - r_values),
+                    offset,
+                )
+        return after
+
     # -- byte runs (strings / opaque) ----------------------------------
 
-    def _byte_run_shape(self, pres):
+    def _byte_run_shape(self, pres, fmt):
         """(kind, fixed_length, bound, nul) describing a byte run."""
         if isinstance(pres, p.PresString):
-            nul = 1 if self.fmt.string_nul_terminated else 0
+            nul = 1 if fmt.string_nul_terminated else 0
             return ("str", None, pres.bound, nul)
         return ("bytes", pres.fixed_length, pres.bound, 0)
 
     def _diff_byte_run(self, sender, receiver, path, offset, root):
-        s_kind, s_fixed, s_bound, s_nul = self._byte_run_shape(sender)
-        r_kind, r_fixed, r_bound, r_nul = self._byte_run_shape(receiver)
+        s_kind, s_fixed, s_bound, s_nul = self._byte_run_shape(
+            sender, self.fmt)
+        r_kind, r_fixed, r_bound, r_nul = self._byte_run_shape(
+            receiver, self.r_fmt)
         after = self._advance_past(sender.mint, offset)
+        if self.transcoded:
+            return self._diff_byte_run_value(
+                s_kind, s_fixed, s_bound, r_kind, r_fixed, r_bound,
+                path, offset, after)
         if (s_fixed is None) != (r_fixed is None):
             self.note(
                 Verdict.BREAKING, path,
@@ -244,6 +342,58 @@ class _MessageDiffer:
                 "under %s" % (s_kind, r_kind, self.fmt.name),
                 offset,
             )
+        self._diff_bound(s_bound, r_bound, path, offset, "byte run")
+        return after
+
+    def _diff_byte_run_value(self, s_kind, s_fixed, s_bound,
+                             r_kind, r_fixed, r_bound,
+                             path, offset, after):
+        """Transcoded byte runs: NUL/padding conventions are re-derived by
+        the far side's encoder; what matters is the decoded value's kind
+        and length envelope."""
+        if s_kind != r_kind:
+            self.note(
+                Verdict.BREAKING, path,
+                "presented type changed %s -> %s: the gateway hands the "
+                "decoded %s to an encoder that packs %s"
+                % (s_kind, r_kind, s_kind, r_kind),
+                offset,
+            )
+            return after
+        if s_fixed is not None and r_fixed is not None:
+            if s_fixed != r_fixed:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "fixed opaque length changed %d -> %d: every decoded "
+                    "value has the wrong arity for the far encoder"
+                    % (s_fixed, r_fixed),
+                    offset,
+                )
+            return after
+        if s_fixed is not None:  # fixed -> counted
+            if r_bound is not None and s_fixed > r_bound:
+                self.note(
+                    Verdict.BREAKING, path,
+                    "fixed opaque of %d bytes exceeds the far side's "
+                    "bound %d" % (s_fixed, r_bound),
+                    offset,
+                )
+            else:
+                self.note(
+                    Verdict.DECODE_COMPATIBLE, path,
+                    "fixed opaque re-encoded as counted (length %d within "
+                    "bound %s)" % (s_fixed, _bound_text(r_bound)),
+                    offset,
+                )
+            return after
+        if r_fixed is not None:  # counted -> fixed
+            self.note(
+                Verdict.BREAKING, path,
+                "counted byte run re-encoded as fixed opaque of %d "
+                "bytes: any other decoded length fails" % r_fixed,
+                offset,
+            )
+            return after
         self._diff_bound(s_bound, r_bound, path, offset, "byte run")
         return after
 

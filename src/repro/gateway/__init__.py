@@ -1,0 +1,43 @@
+"""Wire-to-wire protocol gateway: serve one AOI interface on one
+protocol, forward it on another, transcoding bodies without
+round-tripping through presentation where the wire layouts agree.
+
+The pieces (see ``docs/INTERNALS.md`` section 11):
+
+* :mod:`repro.gateway.plan` — pairs the two backends' marshal programs
+  per operation and compiles fused copy plans with decode/re-encode
+  fallbacks;
+* :mod:`repro.gateway.check` — static losslessness verification via
+  the compat subsystem's transcoded MINT walks (``flick bridge``);
+* :mod:`repro.gateway.envelope` — hardened ingress envelope parsing;
+* :mod:`repro.gateway.errmap` — the total GIOP system exception <->
+  ONC RPC status mapping;
+* :mod:`repro.gateway.proxy` — the asyncio proxy server
+  (``flick gateway``).
+"""
+
+from repro.gateway.check import (
+    bridge_exit_code,
+    bridge_report_json,
+    bridge_report_text,
+    check_bridge,
+)
+from repro.gateway.plan import BridgePlan, build_plan, protocol_of
+from repro.gateway.proxy import (
+    AioGatewayServer,
+    transcode_request,
+    translate_reply,
+)
+
+__all__ = [
+    "AioGatewayServer",
+    "BridgePlan",
+    "bridge_exit_code",
+    "bridge_report_json",
+    "bridge_report_text",
+    "build_plan",
+    "check_bridge",
+    "protocol_of",
+    "transcode_request",
+    "translate_reply",
+]

@@ -226,6 +226,9 @@ class PresRegistry:
     def names(self):
         return sorted(self._definitions)
 
+    def items(self):
+        return [(name, self._definitions[name]) for name in self.names()]
+
     def resolve(self, pres_node):
         seen = set()
         while isinstance(pres_node, PresRef):

@@ -325,6 +325,31 @@ class AioTcpServer:
                          parent=propagation.extract(record)) as span:
             await self._serve_one(connection, record, span)
 
+    async def _invoke(self, record, buffer, span):
+        """Produce the reply for one admitted record; returns has_reply.
+
+        The default runs the generated ``dispatch`` on the executor (or
+        inline); subclasses that answer a record some other way — the
+        protocol gateway forwards it upstream — override this single
+        seam and inherit all of the connection, shedding, fault, error
+        reply, and tracing machinery.
+        """
+        if self._executor is not None:
+            if span is not None:
+                # Executor threads do not inherit this task's
+                # contextvars; carry them over so the stub's
+                # decode/encode spans nest here.
+                context = contextvars.copy_context()
+                return await self._loop.run_in_executor(
+                    self._executor, context.run,
+                    self._dispatch, record, self._impl, buffer,
+                )
+            return await self._loop.run_in_executor(
+                self._executor, self._dispatch, record, self._impl,
+                buffer,
+            )
+        return self._dispatch(record, self._impl, buffer)
+
     async def _serve_one(self, connection, record, span):
         started = time.perf_counter()
         op_key = None
@@ -344,26 +369,7 @@ class AioTcpServer:
                     span.set(op=str(op_key))
             try:
                 with trace.span("dispatch"):
-                    if self._executor is not None:
-                        if span is not None:
-                            # Executor threads do not inherit this
-                            # task's contextvars; carry them over so the
-                            # stub's decode/encode spans nest here.
-                            context = contextvars.copy_context()
-                            has_reply = await self._loop.run_in_executor(
-                                self._executor, context.run,
-                                self._dispatch, record, self._impl,
-                                buffer,
-                            )
-                        else:
-                            has_reply = await self._loop.run_in_executor(
-                                self._executor, self._dispatch, record,
-                                self._impl, buffer,
-                            )
-                    else:
-                        has_reply = self._dispatch(
-                            record, self._impl, buffer
-                        )
+                    has_reply = await self._invoke(record, buffer, span)
             except RuntimeFlickError as exc:
                 # Malformed or unsupported request.  The wire stayed in
                 # sync (framing delivered a whole record), so answer

@@ -12,13 +12,19 @@ presentation generator, and a back end, and get stubs out::
     flick ir mail.idl --op send                   # dump the marshal IR
     flick diff old.idl new.idl --json             # wire-compatibility diff
     flick lint mail.x                             # schema-evolution lint
+    flick bridge mail.idl --ingress iiop --egress onc
+    flick gateway mail.idl --listen iiop:0.0.0.0:9090 \
+        --upstream onc:10.0.0.7:111 --check
     flick list
 
 ``flick diff`` exits 0 when every operation is WIRE_IDENTICAL, 1 when
 the worst verdict is DECODE_COMPATIBLE, 2 on BREAKING, and 3 on a
 compile or usage error.  ``flick lint`` exits 0 when no finding reaches
 the ``--fail-on`` severity (default: warning), 1 otherwise, and 3 on
-error.
+error.  ``flick bridge`` uses the diff exit codes for a protocol *pair*
+(ingress schema/protocol against egress schema/protocol), and
+``flick gateway --check`` refuses to serve a BREAKING bridge with
+exit 2.
 
 Output files are written as ``<interface>_<backend>.py``, ``...c``, and
 ``...h`` under the output directory (default: the current directory).
@@ -252,8 +258,150 @@ def build_parser():
         help="emit the machine-readable report instead of text",
     )
 
+    bridge_parser = sub.add_parser(
+        "bridge",
+        help="statically verify a cross-protocol bridge is lossless",
+    )
+    bridge_parser.add_argument(
+        "ingress", help="IDL file the gateway serves on the ingress side"
+    )
+    bridge_parser.add_argument(
+        "egress", nargs="?", default=None,
+        help="IDL file the upstream server was built against"
+             " (default: the ingress file — same schema, two protocols)",
+    )
+    bridge_parser.add_argument(
+        "--ingress", dest="ingress_protocol", default="iiop",
+        metavar="PROTO",
+        help="ingress wire protocol: iiop or onc/oncrpc-xdr"
+             " (default: iiop)",
+    )
+    bridge_parser.add_argument(
+        "--egress", dest="egress_protocol", default="oncrpc-xdr",
+        metavar="PROTO",
+        help="egress wire protocol (default: oncrpc-xdr)",
+    )
+    bridge_parser.add_argument(
+        "--lang", choices=("corba", "oncrpc"), default=None,
+        help="IDL language (default: detected per file)",
+    )
+    bridge_parser.add_argument("--interface", default=None)
+    bridge_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+
+    gateway_parser = sub.add_parser(
+        "gateway",
+        help="serve one protocol, forward to an upstream on another",
+    )
+    gateway_parser.add_argument("input", help="IDL source file")
+    gateway_parser.add_argument(
+        "--listen", required=True, metavar="PROTO:HOST:PORT",
+        help="ingress endpoint, e.g. iiop:0.0.0.0:9090"
+             " (port 0 picks a free port)",
+    )
+    gateway_parser.add_argument(
+        "--upstream", required=True, metavar="PROTO:HOST:PORT",
+        help="egress endpoint of the real server, e.g. onc:10.0.0.7:111",
+    )
+    gateway_parser.add_argument(
+        "--upstream-idl", default=None, metavar="FILE",
+        help="IDL file the upstream was built against (default: the"
+             " ingress file; set during migrations)",
+    )
+    gateway_parser.add_argument(
+        "--lang", choices=("corba", "oncrpc"), default=None,
+        help="IDL language (default: detected)",
+    )
+    gateway_parser.add_argument("--interface", default=None)
+    gateway_parser.add_argument(
+        "--check", action="store_true",
+        help="verify the bridge statically before serving; refuse a"
+             " BREAKING bridge with exit 2",
+    )
+    gateway_parser.add_argument(
+        "--no-fuse", action="store_true",
+        help="disable the fused byte-copy plans (always decode and"
+             " re-encode; for debugging and benchmarking)",
+    )
+    gateway_parser.add_argument(
+        "--pool-size", type=int, default=4,
+        help="multiplexed upstream connections (default: 4)",
+    )
+    gateway_parser.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="in-flight request cap on the ingress side",
+    )
+    gateway_parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="overload bound: beyond N queued requests, shed with a"
+             " protocol error reply (default: queue unboundedly)",
+    )
+    gateway_parser.add_argument(
+        "--stats", action="store_true",
+        help="collect per-operation and per-bridge counters; printed"
+             " at shutdown",
+    )
+    gateway_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics at /metrics (implies --stats)",
+    )
+    gateway_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append finished spans to PATH as JSON lines; client,"
+             " gateway, and upstream spans share one trace id",
+    )
+    gateway_parser.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="inject faults into ingress requests per a FaultPlan JSON",
+    )
+    gateway_parser.add_argument(
+        "--upstream-fault-plan", default=None, metavar="FILE",
+        help="inject faults on the egress leg instead",
+    )
+    gateway_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds, then exit (default: forever)",
+    )
+
     sub.add_parser("list", help="list front ends, presentations, back ends")
     return parser
+
+
+#: Accepted protocol spellings for ``flick bridge`` / ``flick gateway``.
+_PROTOCOL_ALIASES = {
+    "iiop": "iiop",
+    "giop": "iiop",
+    "onc": "oncrpc-xdr",
+    "oncrpc": "oncrpc-xdr",
+    "oncrpc-xdr": "oncrpc-xdr",
+    "xdr": "oncrpc-xdr",
+}
+
+
+def _backend_for_protocol(spelling):
+    try:
+        return _PROTOCOL_ALIASES[spelling.lower()]
+    except KeyError:
+        raise FlickError(
+            "unknown gateway protocol %r; use one of: %s"
+            % (spelling, ", ".join(sorted(_PROTOCOL_ALIASES)))
+        )
+
+
+def _parse_endpoint(spec, flag):
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        raise FlickError(
+            "%s must look like PROTO:HOST:PORT, got %r" % (flag, spec)
+        )
+    proto, host, port = parts
+    try:
+        port = int(port)
+    except ValueError:
+        raise FlickError("%s port %r is not a number" % (flag, port))
+    return _backend_for_protocol(proto), host, port
 
 
 def _guess_frontend(path, text="", explicit=None):
@@ -721,6 +869,158 @@ def command_lint(args):
     return lint_exit_code(findings, fail_on=args.fail_on)
 
 
+def _compile_bridge_sides(ingress_path, egress_path, ingress_backend,
+                          egress_backend, lang, interface):
+    from repro import api
+
+    with open(ingress_path) as handle:
+        ingress_text = handle.read()
+    if egress_path is None or egress_path == ingress_path:
+        egress_path, egress_text = ingress_path, ingress_text
+    else:
+        with open(egress_path) as handle:
+            egress_text = handle.read()
+    ingress = api.compile(
+        ingress_text, lang, interface=interface, name=ingress_path,
+        backend=ingress_backend,
+    )
+    egress = api.compile(
+        egress_text, lang, interface=interface, name=egress_path,
+        backend=egress_backend,
+    )
+    return ingress, egress, egress_path
+
+
+def command_bridge(args):
+    """Statically verify a protocol bridge (pair diff; exit 0/1/2)."""
+    import json
+
+    from repro.gateway import (
+        bridge_exit_code,
+        bridge_report_json,
+        bridge_report_text,
+        check_bridge,
+    )
+
+    ingress_backend = _backend_for_protocol(args.ingress_protocol)
+    egress_backend = _backend_for_protocol(args.egress_protocol)
+    ingress, egress, egress_path = _compile_bridge_sides(
+        args.ingress, args.egress, ingress_backend, egress_backend,
+        args.lang, args.interface,
+    )
+    diff = check_bridge(ingress, egress)
+    if args.json:
+        print(json.dumps(
+            bridge_report_json(diff, args.ingress, egress_path),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(bridge_report_text(diff, args.ingress, egress_path))
+    return bridge_exit_code(diff)
+
+
+def command_gateway(args):
+    """Serve a bridge: ingress protocol in, egress protocol out."""
+    import time
+
+    from repro import obs
+    from repro.gateway import (
+        AioGatewayServer,
+        bridge_exit_code,
+        bridge_report_text,
+        build_plan,
+        check_bridge,
+    )
+    from repro.runtime import ServerStats
+
+    ingress_backend, listen_host, listen_port = _parse_endpoint(
+        args.listen, "--listen")
+    egress_backend, upstream_host, upstream_port = _parse_endpoint(
+        args.upstream, "--upstream")
+    if ingress_backend == egress_backend and args.upstream_idl is None:
+        raise FlickError(
+            "both endpoints speak %s; a gateway bridges two protocols"
+            " (or two schemas: add --upstream-idl)" % ingress_backend
+        )
+    ingress, egress, upstream_path = _compile_bridge_sides(
+        args.input, args.upstream_idl, ingress_backend, egress_backend,
+        args.lang, args.interface,
+    )
+    if args.check:
+        diff = check_bridge(ingress, egress)
+        if bridge_exit_code(diff) >= 2:
+            print(bridge_report_text(diff, args.input, upstream_path),
+                  file=sys.stderr)
+            print(
+                "flick gateway: refusing to serve a BREAKING bridge"
+                " (%s -> %s)" % (args.input, upstream_path),
+                file=sys.stderr,
+            )
+            return 2
+        print("bridge check: %s" % diff.verdict.name, flush=True)
+    plan = build_plan(ingress, egress, fuse=not args.no_fuse)
+    want_stats = args.stats or args.metrics_port is not None
+    stats = ServerStats() if want_stats else None
+    if args.trace:
+        obs.configure(obs.JsonlExporter(args.trace))
+    fault_plan = upstream_fault_plan = None
+    if args.fault_plan or args.upstream_fault_plan:
+        from repro.faults import FaultPlan
+
+        if args.fault_plan:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        if args.upstream_fault_plan:
+            upstream_fault_plan = FaultPlan.load(args.upstream_fault_plan)
+    server = AioGatewayServer(
+        plan, upstream_host, upstream_port,
+        pool_size=args.pool_size,
+        upstream_fault_plan=upstream_fault_plan,
+        host=listen_host, port=listen_port, stats=stats,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending, fault_plan=fault_plan,
+    )
+    metrics_server = None
+    try:
+        with server:
+            host, port = server.address
+            print(
+                "gateway %s: listening %s on %s:%d, forwarding %s to"
+                " %s:%d (%d/%d requests fused)"
+                % (plan.interface_name, ingress_backend, host, port,
+                   egress_backend, upstream_host, upstream_port,
+                   len(plan.fused_request_ops), len(plan.ops)),
+                flush=True,
+            )
+            if args.trace:
+                print("tracing spans to %s" % args.trace, flush=True)
+            if args.metrics_port is not None:
+                metrics_server = obs.MetricsHttpServer(
+                    stats.registry, listen_host, args.metrics_port
+                ).start()
+                print(
+                    "metrics on http://%s:%d/metrics"
+                    % metrics_server.address[:2],
+                    flush=True,
+                )
+            try:
+                if args.duration is not None:
+                    time.sleep(args.duration)
+                else:
+                    while True:
+                        time.sleep(3600)
+            except KeyboardInterrupt:
+                print("shutting down (draining in-flight requests)",
+                      flush=True)
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
+        if args.trace:
+            obs.shutdown()
+    if stats is not None:
+        print(stats.format_table(), flush=True)
+    return 0
+
+
 def command_list(_args):
     from repro.backend import BACKENDS
     from repro.pgen import PRESENTATIONS
@@ -749,12 +1049,16 @@ def main(argv=None):
             return command_diff(args)
         if args.command == "lint":
             return command_lint(args)
+        if args.command == "bridge":
+            return command_bridge(args)
+        if args.command == "gateway":
+            return command_gateway(args)
         if args.command == "list":
             return command_list(args)
     except (FlickError, OSError) as error:
         print("flick: error: %s" % error, file=sys.stderr)
-        # diff/lint reserve 1 and 2 for verdicts; 3 means "did not run".
-        return 3 if args.command in ("diff", "lint") else 1
+        # diff/lint/bridge reserve 1 and 2 for verdicts; 3 = did not run.
+        return 3 if args.command in ("diff", "lint", "bridge") else 1
     return 0
 
 

@@ -19,6 +19,7 @@ regression corpus in ``tests/corpus/`` (see its README).
 
 from __future__ import annotations
 
+import contextlib
 import os
 import socket
 import struct
@@ -26,7 +27,9 @@ import struct
 import pytest
 
 from repro.errors import RuntimeFlickError, TransportError
-from repro.runtime import StubServer
+from repro.gateway import AioGatewayServer, build_plan
+from repro.gateway.envelope import parse_request
+from repro.runtime import StubServer, operation_names
 from repro.runtime.framing import encode_record
 from repro.runtime.socket_transport import _recv_record
 
@@ -339,3 +342,132 @@ class TestFuzzLiveTcp:
             kind, reply = _exchange(server.address, seeds[0])
             assert kind == "reply", "server no longer answers valid requests"
             VALIDATORS[protocol](seeds[0], reply)
+
+
+# ---------------------------------------------------------------------------
+# The protocol gateway: hostile ingress, never a malformed egress frame.
+# ---------------------------------------------------------------------------
+
+_GATEWAY_BACKENDS = {"onc": "oncrpc-xdr", "giop": "iiop"}
+
+
+class _ValidatingUpstreamTransport:
+    """Wraps the gateway's upstream leg; every forwarded payload must be
+    a well-formed egress-protocol request with a decodable body."""
+
+    def __init__(self, inner, validate):
+        self._inner = inner
+        self._validate = validate
+        self.forwarded = 0
+
+    async def acall(self, payload, *args, **kwargs):
+        self._validate(payload)
+        self.forwarded += 1
+        return await self._inner.acall(payload, *args, **kwargs)
+
+    async def asend(self, payload):
+        self._validate(payload)
+        self.forwarded += 1
+        return await self._inner.asend(payload)
+
+    async def aclose(self):
+        await self._inner.aclose()
+
+
+@contextlib.contextmanager
+def _gateway_pair(ingress_protocol):
+    """A live gateway plus the findings list of malformed egress frames."""
+    egress_protocol = "onc" if ingress_protocol == "giop" else "giop"
+    ingress_result = compile_mail(_GATEWAY_BACKENDS[ingress_protocol])
+    egress_result = compile_mail(_GATEWAY_BACKENDS[egress_protocol])
+    egress_module = egress_result.load_module()
+    upstream = StubServer(egress_module,
+                          MailImpl(egress_module)).tcp_server()
+    malformed = []
+    with upstream:
+        plan = build_plan(ingress_result, egress_result)
+        # The egress side's own ingress spec doubles as a validator
+        # spec for the frames the gateway emits.
+        egress_spec = build_plan(egress_result,
+                                 ingress_result).ingress_spec
+        names = operation_names(egress_module)
+
+        def validate(payload):
+            try:
+                envelope = parse_request(bytes(payload), egress_spec)
+                decoder = getattr(
+                    egress_module,
+                    "_u_req_%s" % names.get(envelope.op_key), None)
+                if decoder is not None:
+                    decoder(bytes(payload), envelope.body_offset)
+            except Exception as error:
+                malformed.append(
+                    (type(error).__name__, str(error),
+                     bytes(payload).hex()))
+
+        gateway = AioGatewayServer(
+            plan, upstream.address[0], upstream.address[1])
+        gateway._upstream = _ValidatingUpstreamTransport(
+            gateway._upstream, validate)
+        with gateway:
+            yield gateway, malformed
+
+
+def _gateway_seeds(ingress_protocol):
+    """Two-way ingress requests (oneways can't be probed over sockets)."""
+    module = compile_mail(_GATEWAY_BACKENDS[ingress_protocol]).load_module()
+    return _capture_requests(module, [
+        ("avg", ([1, 2, 3],)),
+        ("reverse", (b"abcdef",)),
+    ])
+
+
+@pytest.mark.parametrize("ingress", ["onc", "giop"])
+class TestFuzzGateway:
+    def test_hostile_ingress_never_produces_malformed_egress(
+            self, ingress):
+        """Every hostile ingress frame is answered with a
+        protocol-valid ingress reply or a clean close, and whatever the
+        gateway does forward upstream is a well-formed egress request."""
+        import random
+
+        rng = random.Random(FUZZ_SEED + 4)
+        seeds = _gateway_seeds(ingress)
+        hostile = [mutate(rng, seeds) for _ in range(120)]
+        hostile += [rng.randbytes(rng.randrange(1, 80)) for _ in range(30)]
+        with _gateway_pair(ingress) as (gateway, malformed):
+            for frame in hostile:
+                kind, reply = _exchange(gateway.address, frame)
+                if kind == "reply":
+                    VALIDATORS[ingress](frame, reply)
+            # The barrage must not poison the bridge.
+            kind, reply = _exchange(gateway.address, seeds[0])
+            assert kind == "reply", "gateway no longer bridges requests"
+            VALIDATORS[ingress](seeds[0], reply)
+            forwarded = gateway._upstream.forwarded
+        assert forwarded > 0, "the validator never saw an egress frame"
+        assert not malformed, (
+            "gateway emitted malformed egress frames: %r" % malformed[:3])
+
+    def test_gateway_corpus_replay(self, ingress):
+        """Committed hostile gateway frames stay fixed (corpus/README)."""
+        frames = []
+        prefix = "gateway_%s_" % ingress
+        for name in sorted(os.listdir(CORPUS_DIR)):
+            if name.startswith(prefix) and name.endswith(".hex"):
+                with open(os.path.join(CORPUS_DIR, name)) as handle:
+                    frames.append(
+                        (name, bytes.fromhex(handle.read().strip())))
+        assert frames, "corpus is missing for %r" % prefix
+        seeds = _gateway_seeds(ingress)
+        with _gateway_pair(ingress) as (gateway, malformed):
+            for name, frame in frames:
+                kind, reply = _exchange(gateway.address, frame)
+                if kind == "reply":
+                    VALIDATORS[ingress](frame, reply)
+                # The frame must not poison the bridge for later calls.
+                kind, reply = _exchange(gateway.address, seeds[0])
+                assert kind == "reply", \
+                    "gateway dead after corpus %s" % name
+        assert not malformed, (
+            "corpus frame produced malformed egress: %r" % malformed[:3])
