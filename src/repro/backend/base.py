@@ -72,6 +72,12 @@ class GeneratedStubs:
     module_name: str = ""
     renderer: str = "py"
     mir: object = field(default=None, repr=False)
+    #: Zero-argument callable returning the naive type IR
+    #: (:class:`repro.mir.ops.NaiveProgram`) for this interface.  The
+    #: payload-shape profiler uses it to know which channels each codec
+    #: carries; it is evaluated lazily (and only once) so uninstrumented
+    #: compiles pay nothing.
+    shapes_factory: object = field(default=None, repr=False)
 
     _module = None
 
@@ -92,8 +98,21 @@ class GeneratedStubs:
                 from repro.mir.render_closures import install_closures
 
                 install_closures(module, self.mir)
+            if self.shapes_factory is not None:
+                module._flick_shapes = _memoized(self.shapes_factory)
             self._module = module
         return self._module
+
+
+def _memoized(thunk):
+    cell = []
+
+    def cached():
+        if not cell:
+            cell.append(thunk())
+        return cell[0]
+
+    return cached
 
 
 class OptimizingBackEnd:
@@ -254,7 +273,17 @@ class OptimizingBackEnd:
             module_name=module_name,
             renderer=renderer,
             mir=program,
+            shapes_factory=self._shapes_factory(presc, flags),
         )
+
+    def _shapes_factory(self, presc, flags):
+        """A lazy thunk building the naive type IR for the profiler."""
+        def build():
+            from repro.mir.build import build_naive
+
+            return build_naive(self, presc, flags)
+
+        return build
 
     # ------------------------------------------------------------------
     # Codec emission (renderer seam)

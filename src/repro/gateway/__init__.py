@@ -22,6 +22,7 @@ from repro.gateway.check import (
     bridge_report_text,
     check_bridge,
 )
+from repro.gateway.fraction import ChannelPrediction, predict_fused
 from repro.gateway.plan import BridgePlan, build_plan, protocol_of
 from repro.gateway.proxy import (
     AioGatewayServer,
@@ -32,11 +33,13 @@ from repro.gateway.proxy import (
 __all__ = [
     "AioGatewayServer",
     "BridgePlan",
+    "ChannelPrediction",
     "bridge_exit_code",
     "bridge_report_json",
     "bridge_report_text",
     "build_plan",
     "check_bridge",
+    "predict_fused",
     "protocol_of",
     "transcode_request",
     "translate_reply",

@@ -19,8 +19,11 @@ tests can drive them without sockets.
 from __future__ import annotations
 
 import struct
+import time
+import warnings
 
 from repro.encoding.buffer import MarshalBuffer
+from repro.obs import profile as _profile
 from repro.errors import (
     CircuitOpenError,
     DeadlineError,
@@ -47,6 +50,21 @@ _pack_into = struct.pack_into
 
 _DECODE_ERRORS = (struct.error, IndexError, ValueError, TypeError,
                   OverflowError, UnicodeError)
+
+_deprecated_counters_warned = [False]
+
+
+def _warn_deprecated_counters():
+    if _deprecated_counters_warned[0]:
+        return
+    _deprecated_counters_warned[0] = True
+    warnings.warn(
+        "the per-bridge flick_gateway_requests_total counter is"
+        " deprecated and will be removed next release; read"
+        " flick_profile_transcode_total{bridge,op,direction,path}"
+        " instead",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 def _write_header(buffer, header, ctx):
@@ -181,16 +199,24 @@ class AioGatewayServer(AioTcpServer):
                 self._pool, upstream_fault_plan)
         self._egress_buffers = []
         registry = self.stats.registry if self.stats is not None else None
+        self.bridge_label = "%s->%s" % (plan.ingress_protocol,
+                                        plan.egress_protocol)
         self._metric_requests = self._metric_errors = None
+        self._metric_transcode = None
         if registry is not None:
-            bridge = "%s->%s" % (plan.ingress_protocol,
-                                 plan.egress_protocol)
-            self.bridge_label = bridge
+            self._metric_transcode = registry.counter(
+                "flick_profile_transcode_total",
+                "Gateway messages by transcode path",
+                ("bridge", "op", "direction", "path"),
+            )
+            # Deprecated alias of flick_profile_transcode_total
+            # (requests only, no direction label); kept for one release.
             self._metric_requests = registry.counter(
                 "flick_gateway_requests_total",
-                "Requests bridged, by operation and transcode path",
+                "Deprecated: use flick_profile_transcode_total",
                 ("bridge", "op", "path"),
             )
+            _warn_deprecated_counters()
             self._metric_errors = registry.counter(
                 "flick_gateway_upstream_errors_total",
                 "Upstream errors relayed or mapped onto the ingress leg",
@@ -209,11 +235,14 @@ class AioGatewayServer(AioTcpServer):
             buffer.reset()
             self._egress_buffers.append(buffer)
 
-    def _count(self, op_name, fused):
-        if self._metric_requests is not None:
+    def _count(self, op_name, direction, fused):
+        path = "fused" if fused else "re-encode"
+        if self._metric_transcode is not None:
+            self._metric_transcode.labels(
+                self.bridge_label, op_name, direction, path).inc()
+        if self._metric_requests is not None and direction == "request":
             self._metric_requests.labels(
-                self.bridge_label, op_name,
-                "fused" if fused else "re-encode").inc()
+                self.bridge_label, op_name, path).inc()
 
     def _count_error(self, code):
         if self._metric_errors is not None:
@@ -238,11 +267,17 @@ class AioGatewayServer(AioTcpServer):
                 else "proc_unavail")
         egress = self._take_egress_buffer()
         try:
+            start = time.perf_counter() if _profile.enabled() else None
             fused = transcode_request(op, record, envelope, egress)
+            if start is not None:
+                _profile.record_transcode(
+                    self.bridge_label, op.name, "request", fused,
+                    nbytes=egress.length,
+                    seconds=time.perf_counter() - start)
             payload = bytes(egress.view())
         finally:
             self._give_egress_buffer(egress)
-        self._count(op.name, fused)
+        self._count(op.name, "request", fused)
         if span is not None:
             span.set(bridge="%s->%s" % (plan.ingress_protocol,
                                         plan.egress_protocol),
@@ -274,7 +309,16 @@ class AioGatewayServer(AioTcpServer):
                 buffer, envelope.ctx,
                 errmap.translate_local(error, plan.ingress_protocol))
             return True
-        translate_reply(op, reply, envelope.ctx, buffer)
+        start = time.perf_counter() if _profile.enabled() else None
+        reply_fused = translate_reply(op, reply, envelope.ctx, buffer)
+        if start is not None:
+            _profile.record_transcode(
+                self.bridge_label, op.name, "reply", reply_fused,
+                nbytes=buffer.length,
+                seconds=time.perf_counter() - start)
+        self._count(op.name, "reply", reply_fused)
+        if span is not None:
+            span.set(reply_fused=reply_fused)
         return True
 
     async def aclose(self, drain=True):

@@ -13,6 +13,12 @@ this package is where the measuring lives.  Three pieces:
   the protocols' own envelopes (a GIOP ServiceContext entry, an ONC RPC
   auth-opaque credential) so client and server spans join one trace
   while staying byte-compatible with uninstrumented peers.
+* :mod:`repro.obs.profile` — the payload-shape profiler: sampled
+  per-op message sizes, sequence/string length histograms, union-arm
+  skew, gateway fused-path ratios, and trace exemplars, mergeable
+  across workers and persisted as versioned JSON snapshots
+  (``flick serve --profile`` → ``flick profile``).  Zero cost while
+  disabled, like tracing.
 
 Quick tour::
 
@@ -30,11 +36,19 @@ Quick tour::
     print(registry.render_prometheus())
 """
 
+from repro.obs import profile
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
     LatencyHistogram,
     MetricsRegistry,
     REGISTRY,
+    parse_prometheus,
+)
+from repro.obs.profile import (
+    ArmCounter,
+    OpProfile,
+    ProfileSnapshot,
+    ShapeHistogram,
 )
 from repro.obs.propagation import WireTraceContext, extract, inject
 from repro.obs.trace import (
@@ -43,6 +57,7 @@ from repro.obs.trace import (
     Span,
     Tracer,
     configure,
+    current_ids,
     current_span,
     enabled,
     instrument_stub_module,
@@ -52,22 +67,29 @@ from repro.obs.trace import (
 from repro.obs.http import MetricsHttpServer
 
 __all__ = [
+    "ArmCounter",
     "BUCKET_BOUNDS",
     "CollectingExporter",
     "JsonlExporter",
     "LatencyHistogram",
     "MetricsHttpServer",
     "MetricsRegistry",
+    "OpProfile",
+    "ProfileSnapshot",
     "REGISTRY",
+    "ShapeHistogram",
     "Span",
     "Tracer",
     "WireTraceContext",
     "configure",
+    "current_ids",
     "current_span",
     "enabled",
     "extract",
     "inject",
     "instrument_stub_module",
+    "parse_prometheus",
+    "profile",
     "shutdown",
     "span",
 ]

@@ -1,7 +1,9 @@
 """A minimal asyncio HTTP endpoint exposing Prometheus metrics.
 
 ``GET /metrics`` renders a :class:`~repro.obs.metrics.MetricsRegistry`
-in text exposition format; anything else is 404.  HTTP/1.0-style:
+in text exposition format; ``GET /profile`` returns the live
+payload-shape profiler's snapshot as JSON (404 while profiling is
+off); anything else is 404.  HTTP/1.0-style:
 one request per connection, ``Connection: close``.  That is all a
 Prometheus scraper (or ``curl``) needs, and it keeps this free of any
 dependency the container does not already have.
@@ -18,6 +20,20 @@ import threading
 
 #: Cap on request-head size; anything longer is not a scraper.
 MAX_REQUEST_BYTES = 8192
+
+
+def _profile_snapshot():
+    """The live profiler's snapshot as JSON bytes, or None when off."""
+    import json
+
+    from repro.obs import profile
+
+    profiler = profile.active()
+    if profiler is None:
+        return None
+    return json.dumps(
+        profiler.snapshot().to_json(), sort_keys=True
+    ).encode("utf-8")
 
 
 class MetricsHttpServer:
@@ -62,14 +78,24 @@ class MetricsHttpServer:
             return
         request_line = head.split(b"\r\n", 1)[0].split(b" ")
         path = request_line[1] if len(request_line) >= 2 else b""
+        clean_path = path.split(b"?", 1)[0]
+        is_get = request_line[:1] == [b"GET"]
+        profile_body = (
+            _profile_snapshot()
+            if is_get and clean_path == b"/profile" else None
+        )
         try:
-            if request_line[:1] == [b"GET"] and \
-                    path.split(b"?", 1)[0] == b"/metrics":
+            if is_get and clean_path == b"/metrics":
                 body = self.registry.render_prometheus().encode("utf-8")
                 status = b"200 OK"
                 content_type = b"text/plain; version=0.0.4; charset=utf-8"
+            elif profile_body is not None:
+                body = profile_body
+                status = b"200 OK"
+                content_type = b"application/json; charset=utf-8"
             else:
-                body = b"try GET /metrics\n"
+                body = b"try GET /metrics (or /profile while" \
+                       b" profiling)\n"
                 status = b"404 Not Found"
                 content_type = b"text/plain; charset=utf-8"
             writer.write(b"HTTP/1.0 " + status + b"\r\n"

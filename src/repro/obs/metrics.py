@@ -92,6 +92,28 @@ class LatencyHistogram:
     def mean(self):
         return self.sum_seconds / self.total if self.total else 0.0
 
+    def merge(self, other):
+        """Fold *other*'s observations into this histogram (in place).
+
+        Both histograms must share bucket bounds.  Counts, totals, and
+        sums add; min/max combine — the merge a profile snapshot needs
+        when aggregating across workers.
+        """
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ValueError("cannot merge histograms with different"
+                             " bucket bounds")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum_seconds += other.sum_seconds
+        if other.max_seconds > self.max_seconds:
+            self.max_seconds = other.max_seconds
+        if other.min_seconds is not None and (
+                self.min_seconds is None
+                or other.min_seconds < self.min_seconds):
+            self.min_seconds = other.min_seconds
+        return self
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -316,11 +338,19 @@ class MetricsRegistry:
         return result
 
     def render_prometheus(self):
-        """The registry in Prometheus text exposition format (0.0.4)."""
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Label values escape backslash, double-quote, and newline; HELP
+        text escapes backslash and newline — both per the text-format
+        spec, so IDL-derived operation names (which may legally contain
+        any of those once quoting and baselines get involved) can never
+        tear the exposition.
+        """
         lines = []
         for family in self.families():
             if family.help:
-                lines.append("# HELP %s %s" % (family.name, family.help))
+                lines.append("# HELP %s %s"
+                             % (family.name, _escape_help(family.help)))
             lines.append("# TYPE %s %s" % (family.name, family.kind))
             for key, child in sorted(family.collect()):
                 labels = _label_text(family.labelnames, key)
@@ -355,7 +385,8 @@ class MetricsRegistry:
             callbacks = list(self._callbacks.items())
         for name, (help_text, callback) in sorted(callbacks):
             if help_text:
-                lines.append("# HELP %s %s" % (name, help_text))
+                lines.append("# HELP %s %s"
+                             % (name, _escape_help(help_text)))
             lines.append("# TYPE %s gauge" % name)
             lines.append("%s %s" % (name, _fmt(callback())))
         return "\n".join(lines) + "\n"
@@ -372,6 +403,12 @@ def _escape(value):
         .replace("\n", "\\n")
 
 
+def _escape_help(value):
+    # HELP text escapes only backslash and newline (double quotes are
+    # legal there, unlike in label values).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(names, values):
     if not names:
         return ""
@@ -379,6 +416,87 @@ def _label_text(names, values):
         '%s="%s"' % (name, _escape(value))
         for name, value in zip(names, values)
     )
+
+
+def _unescape_label(value):
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(text):
+    """``op="a",le="+Inf"`` → sorted tuple of (name, value) pairs."""
+    pairs = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip()
+        if text[eq + 1] != '"':
+            raise ValueError("unquoted label value in %r" % text)
+        j = eq + 2
+        while True:
+            if j >= len(text):
+                raise ValueError("unterminated label value in %r" % text)
+            if text[j] == "\\":
+                j += 2
+                continue
+            if text[j] == '"':
+                break
+            j += 1
+        pairs.append((name, _unescape_label(text[eq + 2:j])))
+        i = j + 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus(text):
+    """Parse text exposition (0.0.4) into ``{name: {labels: value}}``.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus`, used by
+    ``flick top`` and the scrape tests.  ``labels`` keys are sorted
+    tuples of ``(name, value)`` pairs with escapes undone; histogram
+    series appear under their ``_bucket``/``_sum``/``_count`` sample
+    names.  Raises :class:`ValueError` on torn or malformed lines, which
+    is exactly what the concurrent-scrape test wants to detect.
+    """
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close])
+            rest = line[close + 1:].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = ()
+            rest = rest.strip()
+        if not name or not rest:
+            raise ValueError("malformed exposition line: %r" % line)
+        value = float(rest.split()[0])
+        samples.setdefault(name, {})[labels] = value
+    return samples
 
 
 #: The process-default registry; runtime pieces that are not handed an

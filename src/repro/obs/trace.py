@@ -59,6 +59,18 @@ def current_span():
     return _current.get()
 
 
+def current_ids():
+    """``(trace_id, span_id)`` of the enclosing span, or None.
+
+    The exemplar hook: the payload-shape profiler stamps its slow-tail
+    exemplars with these so a profile links back to the trace export.
+    """
+    span = _current.get()
+    if span is None:
+        return None
+    return span.trace_id, span.span_id
+
+
 def configure(exporter=None):
     """Install (and return) the process tracer; replaces any previous.
 

@@ -15,6 +15,8 @@ presentation generator, and a back end, and get stubs out::
     flick bridge mail.idl --ingress iiop --egress onc
     flick gateway mail.idl --listen iiop:0.0.0.0:9090 \
         --upstream onc:10.0.0.7:111 --check
+    flick profile prof.json --op send         # payload-shape report
+    flick top 127.0.0.1:9464                  # live /metrics view
     flick list
 
 ``flick diff`` exits 0 when every operation is WIRE_IDENTICAL, 1 when
@@ -183,6 +185,16 @@ def build_parser():
              " (0 picks a free port; implies --stats)",
     )
     serve_parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="enable the payload-shape profiler and save its snapshot"
+             " to PATH at shutdown (inspect with `flick profile PATH`)",
+    )
+    serve_parser.add_argument(
+        "--profile-sample", type=int, default=64, metavar="N",
+        help="profile every N-th codec call (default: 64; 1 profiles"
+             " everything)",
+    )
+    serve_parser.add_argument(
         "--max-concurrency", type=int, default=64,
         help="in-flight request cap for the asyncio runtime",
     )
@@ -348,6 +360,16 @@ def build_parser():
         help="serve Prometheus metrics at /metrics (implies --stats)",
     )
     gateway_parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="enable the payload-shape profiler (fused/re-encode path"
+             " ratios, transcoded sizes) and save its snapshot to PATH"
+             " at shutdown",
+    )
+    gateway_parser.add_argument(
+        "--profile-sample", type=int, default=64, metavar="N",
+        help="profile every N-th transcoded message (default: 64)",
+    )
+    gateway_parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="append finished spans to PATH as JSON lines; client,"
              " gateway, and upstream spans share one trace id",
@@ -363,6 +385,42 @@ def build_parser():
     gateway_parser.add_argument(
         "--duration", type=float, default=None,
         help="serve for this many seconds, then exit (default: forever)",
+    )
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="report a payload-shape profile snapshot"
+             " (from `flick serve --profile`)",
+    )
+    profile_parser.add_argument(
+        "snapshots", nargs="+", metavar="SNAPSHOT",
+        help="profile snapshot JSON file(s); several are merged"
+             " (profiles from different workers combine losslessly)",
+    )
+    profile_parser.add_argument(
+        "--op", default=None, metavar="NAME",
+        help="report only this operation",
+    )
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live per-operation view of a serving endpoint's /metrics",
+    )
+    top_parser.add_argument(
+        "target", metavar="HOST:PORT",
+        help="a --metrics-port endpoint, e.g. 127.0.0.1:9464",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval (default: 2s)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot (cumulative totals, no rates) and exit",
     )
 
     sub.add_parser("list", help="list front ends, presentations, back ends")
@@ -726,6 +784,14 @@ def command_serve(args):
     if options.trace_path:
         obs.configure(obs.JsonlExporter(options.trace_path))
         obs.instrument_stub_module(stub_module)
+    if args.profile:
+        # After tracing: profile wrappers then wrap trace wrappers, so
+        # sampled codec calls carry span context for exemplars.
+        obs.profile.configure(
+            sample=args.profile_sample,
+            registry=stats.registry if stats is not None else None,
+        )
+        obs.profile.instrument_stub_module(stub_module)
     fault_plan = None
     if options.fault_plan:
         from repro.faults import FaultPlan
@@ -766,6 +832,10 @@ def command_serve(args):
             if options.trace_path:
                 print("tracing spans to %s" % options.trace_path,
                       flush=True)
+            if args.profile:
+                print("profiling payload shapes to %s (1/%d sampling)"
+                      % (args.profile, max(1, args.profile_sample)),
+                      flush=True)
             if fault_plan is not None:
                 print("fault plan active: %s" % options.fault_plan,
                       flush=True)
@@ -790,6 +860,13 @@ def command_serve(args):
     finally:
         if metrics_server is not None:
             metrics_server.stop()
+        if args.profile:
+            # Profile wrappers wrap trace wrappers; unwind in reverse.
+            snapshot = obs.profile.shutdown()
+            if snapshot is not None:
+                snapshot.save(args.profile)
+                print("profile snapshot saved to %s" % args.profile,
+                      flush=True)
         if options.trace_path:
             obs.shutdown()  # flush and close the span file
     if stats is not None:
@@ -900,6 +977,7 @@ def command_bridge(args):
         bridge_report_json,
         bridge_report_text,
         check_bridge,
+        predict_fused,
     )
 
     ingress_backend = _backend_for_protocol(args.ingress_protocol)
@@ -909,14 +987,46 @@ def command_bridge(args):
         args.lang, args.interface,
     )
     diff = check_bridge(ingress, egress)
+    predictions = predict_fused(ingress, egress)
     if args.json:
-        print(json.dumps(
-            bridge_report_json(diff, args.ingress, egress_path),
-            indent=2, sort_keys=True,
-        ))
+        document = bridge_report_json(diff, args.ingress, egress_path)
+        document["fused"] = {
+            op: {direction: prediction.to_json()
+                 for direction, prediction in directions.items()}
+            for op, directions in predictions.items()
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(bridge_report_text(diff, args.ingress, egress_path))
+        print(_fused_prediction_text(predictions))
     return bridge_exit_code(diff)
+
+
+def _fused_prediction_text(predictions):
+    """Render per-op fused-fraction predictions for ``flick bridge``."""
+    lines = ["predicted gateway cost (fused copy plans):"]
+    total = 0
+    fused_channels = 0
+    for op in sorted(predictions):
+        parts = []
+        for direction in ("request", "reply"):
+            prediction = predictions[op].get(direction)
+            if prediction is None:
+                continue
+            total += 1
+            fused_channels += prediction.fused
+            parts.append(
+                "%s %s (%.0f%% of bytes coverable)"
+                % (direction,
+                   "fused" if prediction.fused else "re-encode",
+                   100.0 * prediction.byte_fraction)
+            )
+        lines.append("  %-20s %s" % (op, "; ".join(parts) or "oneway"))
+    if total:
+        lines.append(
+            "  overall: %d/%d channels take the fused path"
+            % (fused_channels, total))
+    return "\n".join(lines)
 
 
 def command_gateway(args):
@@ -963,6 +1073,11 @@ def command_gateway(args):
     stats = ServerStats() if want_stats else None
     if args.trace:
         obs.configure(obs.JsonlExporter(args.trace))
+    if args.profile:
+        obs.profile.configure(
+            sample=args.profile_sample,
+            registry=stats.registry if stats is not None else None,
+        )
     fault_plan = upstream_fault_plan = None
     if args.fault_plan or args.upstream_fault_plan:
         from repro.faults import FaultPlan
@@ -1014,11 +1129,299 @@ def command_gateway(args):
     finally:
         if metrics_server is not None:
             metrics_server.stop()
+        if args.profile:
+            snapshot = obs.profile.shutdown()
+            if snapshot is not None:
+                snapshot.save(args.profile)
+                print("profile snapshot saved to %s" % args.profile,
+                      flush=True)
         if args.trace:
             obs.shutdown()
     if stats is not None:
         print(stats.format_table(), flush=True)
     return 0
+
+
+def _profile_summary(profile):
+    """Derived, report-ready numbers for one OpProfile."""
+    size = profile.size
+    summary = {
+        "calls": profile.calls,
+        "sampled": profile.sampled,
+        "size": {
+            "mean": round(size.mean, 1),
+            "p50": size.percentile(50),
+            "p99": size.percentile(99),
+            "max": size.max,
+        },
+        "channels": {},
+        "arms": {},
+    }
+    for path, hist in sorted(profile.channels.items()):
+        summary["channels"][path] = {
+            "kind": hist.kind,
+            "modes": [list(mode) for mode in hist.modes()],
+            "p50": hist.percentile(50),
+            "p99": hist.percentile(99),
+        }
+    for path, counter in sorted(profile.arms.items()):
+        top, fraction = counter.skew()
+        summary["arms"][path] = {
+            "counts": counter.to_json(),
+            "top": top,
+            "skew": round(fraction, 4),
+        }
+    fused = profile.fused_fraction
+    if fused is not None:
+        summary["fused_fraction"] = round(fused, 4)
+    for kind, hist in sorted(profile.codec.items()):
+        summary.setdefault("codec", {})[kind] = {
+            "p50_us": round(hist.percentile(50) * 1e6, 1),
+            "p99_us": round(hist.percentile(99) * 1e6, 1),
+        }
+    if profile.exemplars:
+        summary["exemplars"] = list(profile.exemplars)
+    return summary
+
+
+def _profile_text(op, profiles, hint):
+    lines = ["%s:" % op]
+    for profile in profiles:
+        summary = _profile_summary(profile)
+        size = summary["size"]
+        lines.append(
+            "  %-8s calls=%d sampled=%d  bytes p50=%d p99=%d max=%d"
+            % (profile.direction, profile.calls, profile.sampled,
+               size["p50"], size["p99"], size["max"]))
+        for path, channel in summary["channels"].items():
+            modes = ", ".join("%dx%d" % (value, count)
+                              for value, count in channel["modes"])
+            lines.append(
+                "    %-24s %-5s p50=%-6d p99=%-6d modes: %s"
+                % (path, channel["kind"], channel["p50"],
+                   channel["p99"], modes))
+        for path, arm in summary["arms"].items():
+            lines.append(
+                "    %-24s arm   top=%s (%.0f%%)  %s"
+                % (path, arm["top"], 100.0 * arm["skew"],
+                   " ".join("%s:%d" % item
+                            for item in sorted(arm["counts"].items()))))
+        if "fused_fraction" in summary:
+            lines.append("    %-24s %.1f%% of messages fused"
+                         % ("gateway", 100.0 * summary["fused_fraction"]))
+        for exemplar in profile.exemplars[:3]:
+            lines.append(
+                "    slow exemplar: %.3f ms, %d bytes, trace=%s"
+                % (1e3 * exemplar["duration_s"], exemplar.get("bytes", 0),
+                   exemplar.get("trace_id")))
+    renderer, reason, _scores = hint
+    lines.append("  renderer hint: %s (%s)" % (renderer, reason))
+    return "\n".join(lines)
+
+
+def command_profile(args):
+    import json
+
+    from repro.obs.profile import (
+        ProfileSnapshot,
+        SNAPSHOT_VERSION,
+        renderer_hint,
+    )
+
+    try:
+        snapshot = ProfileSnapshot.load(args.snapshots[0])
+        for path in args.snapshots[1:]:
+            snapshot.merge(ProfileSnapshot.load(path))
+    except ValueError as error:
+        raise FlickError(str(error)) from None
+    names = snapshot.op_names()
+    if args.op is not None:
+        if args.op not in names:
+            raise FlickError(
+                "operation %r is not in the snapshot (have: %s)"
+                % (args.op, ", ".join(names) or "none"))
+        names = [args.op]
+    if args.json:
+        document = {
+            "version": SNAPSHOT_VERSION,
+            "sample": snapshot.sample,
+            "ops": {},
+        }
+        for op in names:
+            profiles = snapshot.for_op(op)
+            renderer, reason, scores = renderer_hint(profiles)
+            document["ops"][op] = {
+                "directions": {
+                    profile.direction: profile.to_json()
+                    for profile in profiles
+                },
+                "summary": {
+                    profile.direction: _profile_summary(profile)
+                    for profile in profiles
+                },
+                "renderer_hint": {
+                    "renderer": renderer,
+                    "reason": reason,
+                    "scores": {name: round(score, 2)
+                               for name, score in scores.items()},
+                },
+            }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print("payload-shape profile (1/%d sampling, %d snapshot%s)"
+          % (snapshot.sample, len(args.snapshots),
+             "" if len(args.snapshots) == 1 else "s"))
+    for op in names:
+        profiles = snapshot.for_op(op)
+        print(_profile_text(op, profiles, renderer_hint(profiles)))
+    return 0
+
+
+def _bucket_percentile(buckets, q):
+    """Interpolated percentile from cumulative ``[(le, count)]``."""
+    if not buckets:
+        return 0.0
+    buckets = sorted(buckets)
+    total = buckets[-1][1]
+    if not total:
+        return 0.0
+    rank = max(1, total * q / 100.0)
+    previous = 0.0
+    previous_count = 0
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            if bound == float("inf"):
+                return previous
+            span = cumulative - previous_count
+            if not span:
+                return bound
+            return previous + (bound - previous) * (
+                (rank - previous_count) / span)
+        previous, previous_count = bound, cumulative
+    return previous
+
+
+def _top_rows(samples):
+    """Per-op cumulative stats out of one parsed /metrics scrape."""
+    rows = {}
+
+    def row(op):
+        return rows.setdefault(op, {
+            "requests": 0.0, "errors": 0.0, "bytes": 0.0,
+            "buckets": [], "fused": 0.0, "transcoded": 0.0,
+        })
+
+    for labels, value in samples.get(
+            "flick_server_requests_total", {}).items():
+        labeldict = dict(labels)
+        row(labeldict.get("op", "?"))["requests"] += value
+    for labels, value in samples.get(
+            "flick_server_errors_total", {}).items():
+        labeldict = dict(labels)
+        row(labeldict.get("op", "?"))["errors"] += value
+    for labels, value in samples.get(
+            "flick_server_latency_seconds_bucket", {}).items():
+        labeldict = dict(labels)
+        bound = labeldict.get("le", "+Inf")
+        bound = float("inf") if bound == "+Inf" else float(bound)
+        row(labeldict.get("op", "?"))["buckets"].append((bound, value))
+    sample_rate = 1.0
+    for _labels, value in samples.get(
+            "flick_profile_sample_rate", {}).items():
+        sample_rate = value or 1.0
+    for labels, value in samples.get(
+            "flick_profile_message_bytes_sum", {}).items():
+        labeldict = dict(labels)
+        # Sampled byte totals scale back up by the sampling rate.
+        row(labeldict.get("op", "?"))["bytes"] += value * sample_rate
+    for labels, value in samples.get(
+            "flick_profile_transcode_total", {}).items():
+        labeldict = dict(labels)
+        entry = row(labeldict.get("op", "?"))
+        entry["transcoded"] += value
+        if labeldict.get("path") == "fused":
+            entry["fused"] += value
+    return rows
+
+
+def _top_table(rows, previous=None, interval=None):
+    header = ("%-20s %10s %8s %9s %9s %10s %7s"
+              % ("op", "requests" if previous is None else "req/s",
+                 "errors", "p50 ms", "p99 ms",
+                 "bytes" if previous is None else "bytes/s", "fused"))
+    lines = [header, "-" * len(header)]
+    ranked = sorted(rows.items(),
+                    key=lambda item: -item[1]["requests"])
+    for op, stats in ranked:
+        requests = stats["requests"]
+        nbytes = stats["bytes"]
+        if previous is not None:
+            before = previous.get(op, {"requests": 0.0, "bytes": 0.0})
+            requests = (requests - before["requests"]) / interval
+            nbytes = (nbytes - before["bytes"]) / interval
+        fused = ("%.0f%%" % (100.0 * stats["fused"] / stats["transcoded"])
+                 if stats["transcoded"] else "-")
+        lines.append(
+            "%-20s %10.1f %8d %9.2f %9.2f %10s %7s"
+            % (op, requests, stats["errors"],
+               1e3 * _bucket_percentile(stats["buckets"], 50),
+               1e3 * _bucket_percentile(stats["buckets"], 99),
+               _human_bytes(nbytes), fused))
+    return "\n".join(lines)
+
+
+def _human_bytes(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0:
+            return "%.1f%s" % (n, unit)
+        n /= 1024.0
+    return "%.1fTiB" % n
+
+
+def command_top(args):
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.metrics import parse_prometheus
+
+    host, _sep, port = args.target.rpartition(":")
+    if not host or not port.isdigit():
+        raise FlickError(
+            "top target must look like HOST:PORT, got %r" % args.target)
+    url = "http://%s:%s/metrics" % (host, port)
+
+    def scrape():
+        try:
+            with urllib.request.urlopen(url, timeout=5.0) as response:
+                text = response.read().decode("utf-8")
+        except (urllib.error.URLError, TimeoutError) as error:
+            raise FlickError("cannot scrape %s: %s" % (url, error)) \
+                from None
+        try:
+            return _top_rows(parse_prometheus(text))
+        except ValueError as error:
+            raise FlickError("bad exposition from %s: %s" % (url, error)) \
+                from None
+
+    if args.once:
+        rows = scrape()
+        print("flick top %s (cumulative totals)" % args.target)
+        print(_top_table(rows))
+        return 0
+    previous = scrape()
+    try:
+        while True:
+            time.sleep(args.interval)
+            rows = scrape()
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print("flick top %s  every %.1fs  (ctrl-c to quit)"
+                  % (args.target, args.interval))
+            print(_top_table(rows, previous, args.interval))
+            sys.stdout.flush()
+            previous = rows
+    except KeyboardInterrupt:
+        return 0
 
 
 def command_list(_args):
@@ -1053,6 +1456,10 @@ def main(argv=None):
             return command_bridge(args)
         if args.command == "gateway":
             return command_gateway(args)
+        if args.command == "profile":
+            return command_profile(args)
+        if args.command == "top":
+            return command_top(args)
         if args.command == "list":
             return command_list(args)
     except (FlickError, OSError) as error:

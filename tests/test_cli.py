@@ -304,6 +304,26 @@ class TestServe:
         assert "metrics on http://" in out
         assert "p95" in out
 
+    def test_serve_with_profile_writes_a_snapshot(self, tmp_path,
+                                                  monkeypatch, capsys):
+        import json
+
+        snap_path = tmp_path / "prof.json"
+        assert _serve_and_call(
+            tmp_path, monkeypatch,
+            ["--profile", str(snap_path), "--profile-sample", "1"],
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profiling payload shapes" in out
+        assert "profile snapshot saved" in out
+        document = json.loads(snap_path.read_text())
+        assert document["kind"] == "flick-profile"
+        ops = {entry["op"] for entry in document["ops"]}
+        assert "avg" in ops
+        # flick profile reads what flick serve wrote.
+        assert main(["profile", str(snap_path)]) == 0
+        assert "avg" in capsys.readouterr().out
+
     def test_bad_impl_spec_rejected(self, tmp_path, capsys):
         source = write(tmp_path, "calc.idl", SERVE_IDL)
         assert main(["serve", source, "--impl", "no-colon"]) == 1

@@ -179,6 +179,75 @@ class TestMetricsRegistry:
         text = registry.render_prometheus()
         assert 'op="we\\"ird\\n"' in text
 
+    def test_help_text_escaping(self):
+        # Per the text format, HELP escapes backslash and newline (but
+        # not double quotes); a hostile help string must stay one line.
+        registry = metrics.MetricsRegistry()
+        registry.counter("h_total", 'multi\nline with \\ and "quotes"')
+        text = registry.render_prometheus()
+        (help_line,) = [line for line in text.splitlines()
+                        if line.startswith("# HELP h_total")]
+        assert help_line \
+            == '# HELP h_total multi\\nline with \\\\ and "quotes"'
+
+    def test_parse_round_trips_hostile_labels(self):
+        registry = metrics.MetricsRegistry()
+        hostile = 'we"ird\\label\nwith everything'
+        registry.counter("c_total", "", ("op",)).labels(hostile).inc(3)
+        registry.histogram("lat_seconds", "", ("op",)) \
+            .labels(hostile).observe(0.004)
+        samples = metrics.parse_prometheus(registry.render_prometheus())
+        assert samples["c_total"][(("op", hostile),)] == 3
+        assert samples["lat_seconds_count"][(("op", hostile),)] == 1
+
+    def test_parse_rejects_torn_lines(self):
+        with pytest.raises(ValueError):
+            metrics.parse_prometheus('broken{op="unterminated 1\n')
+        with pytest.raises(ValueError):
+            metrics.parse_prometheus("name_only\n")
+
+    def test_concurrent_scrapes_never_tear_and_stay_monotonic(self):
+        """Satellite check: scraping /metrics while labelled counters
+        and histograms are hammered from several threads always yields
+        a parseable exposition with monotone counter values."""
+        import threading
+        import urllib.request as _request
+
+        registry = metrics.MetricsRegistry()
+        requests = registry.counter("req_total", "calls", ("op",))
+        latency = registry.histogram("lat_seconds", "rtt", ("op",))
+        stop = threading.Event()
+
+        def hammer(op):
+            while not stop.is_set():
+                requests.labels(op).inc()
+                latency.labels(op).observe(0.001)
+
+        workers = [threading.Thread(target=hammer, args=("op%d" % i,))
+                   for i in range(4)]
+        for worker in workers:
+            worker.start()
+        seen = {}
+        try:
+            with obs.MetricsHttpServer(registry) as endpoint:
+                url = "http://%s:%d/metrics" % endpoint.address[:2]
+                for _scrape in range(10):
+                    with _request.urlopen(url) as response:
+                        text = response.read().decode()
+                    # Any torn line raises ValueError here.
+                    samples = metrics.parse_prometheus(text)
+                    for labels, value in samples["req_total"].items():
+                        assert value >= seen.get(labels, 0)
+                        seen[labels] = value
+                    for labels, count in samples[
+                            "lat_seconds_count"].items():
+                        assert count == int(count)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        assert len(seen) == 4
+
 
 # ----------------------------------------------------------------------
 # Spans

@@ -1,0 +1,576 @@
+"""Tests for the payload-shape profiler (`repro.obs.profile`).
+
+The contract under test, per layer:
+
+* the histogram/counter primitives keep workload modes exact and merge
+  under exact associative/commutative laws (hypothesis-checked, so
+  multi-worker snapshot merging is order-independent);
+* instrumenting a stub module while profiling is off leaves the codec
+  functions untouched (zero disabled cost), and configure/shutdown
+  swap wrappers in and out losslessly;
+* the acceptance scenario: a skewed workload (bimodal directory-listing
+  lengths, a lopsided union) driven through the live asyncio server
+  shows up in the saved snapshot with the right per-channel modes, arm
+  skew, and at least one trace exemplar that joins to the JSONL trace
+  export — all read back through ``flick profile --json``;
+* the gateway records fused-vs-re-encode per op and the dynamic ratio
+  matches ``flick bridge``'s static prediction;
+* ``/profile`` and ``flick top --once`` read live state over HTTP.
+"""
+
+import contextlib
+import json
+import urllib.error
+import urllib.request
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.core.compiler import Flick
+from repro.encoding import MarshalBuffer
+from repro.gateway import AioGatewayServer, build_plan, predict_fused
+from repro.obs import profile
+from repro.obs.profile import (
+    ArmCounter,
+    OpProfile,
+    ProfileSnapshot,
+    ShapeHistogram,
+)
+from repro.runtime import StubServer, TcpClientTransport
+from repro.runtime.aio import ServerStats
+from repro.tools import cli
+
+from tests.conftest import MailImpl, compile_mail
+
+#: The acceptance schema: directory listings with bimodal lengths and
+#: a union whose arms the workload hits lopsidedly.
+FS_IDL = """
+interface Fs {
+  struct Dirent { string name; long inode; };
+  typedef sequence<Dirent> DirList;
+  union Query switch (long) {
+    case 0: long by_inode;
+    default: string by_glob;
+  };
+  DirList list(in long n);
+  long find(in Query q);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def fs_result():
+    return Flick(frontend="corba", backend="iiop").compile(FS_IDL)
+
+
+@pytest.fixture(autouse=True)
+def _profiler_off():
+    """Every test starts and ends with the global profiler off."""
+    profile.shutdown()
+    yield
+    profile.shutdown()
+
+
+class FsImpl:
+    def __init__(self, module):
+        self.module = module
+
+    def list(self, n):
+        return [self.module.Fs_Dirent(name="f%d" % i, inode=i)
+                for i in range(n)]
+
+    def find(self, q):
+        return 7
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+
+class TestShapeHistogram:
+    def test_modes_stay_exact_for_repeated_shapes(self):
+        hist = ShapeHistogram(kind="seq")
+        for _ in range(40):
+            hist.observe(2)
+        for _ in range(10):
+            hist.observe(30)
+        assert hist.modes(2) == [(2, 40), (30, 10)]
+        assert hist.total == 50
+        assert hist.min == 2 and hist.max == 30
+
+    def test_distinct_values_beyond_cap_spill_to_buckets(self):
+        hist = ShapeHistogram()
+        for n in range(profile.MAX_EXACT):
+            hist.observe(n)
+        hist.observe(1000)  # the 65th distinct value
+        assert 1000 not in hist.exact
+        assert hist.overflow == {(1000).bit_length(): 1}
+        assert hist.total == profile.MAX_EXACT + 1
+        assert hist.max == 1000
+
+    def test_percentile_covers_exact_and_overflow(self):
+        hist = ShapeHistogram()
+        for n in range(profile.MAX_EXACT):
+            hist.observe(0)
+        assert hist.percentile(50) == 0
+        hist.exact = {}
+        hist.observe(5)
+        assert hist.percentile(99) == 5
+
+    def test_json_round_trip(self):
+        hist = ShapeHistogram(kind="str")
+        for n in (1, 1, 2, 700):
+            hist.observe(n)
+        back = ShapeHistogram.from_json(hist.to_json())
+        assert back.to_json() == hist.to_json()
+
+
+class TestArmCounter:
+    def test_skew_reports_the_dominant_arm(self):
+        counter = ArmCounter()
+        for _ in range(9):
+            counter.inc("0")
+        counter.inc("2")
+        assert counter.skew() == ("0", 0.9)
+
+    def test_empty_skew(self):
+        assert ArmCounter().skew() == (None, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Merge laws (multi-worker snapshots combine in any order)
+# ----------------------------------------------------------------------
+
+_PATHS = ("xs", "name", "v.<arm>")
+_KINDS = {"xs": "seq", "name": "str", "v.<arm>": "str"}
+
+# Dyadic durations: float sums of n/1024 are exact, so the latency
+# histogram's sum_seconds obeys the same exact merge laws as the
+# integer tables.
+_durations = st.integers(min_value=0, max_value=10**6).map(
+    lambda n: n / 1024.0)
+
+_events = st.lists(
+    st.one_of(
+        st.tuples(st.just("size"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("length"),
+                  st.sampled_from(_PATHS), st.integers(0, 1 << 12)),
+        st.tuples(st.just("arm"),
+                  st.sampled_from(_PATHS), st.sampled_from("012")),
+        st.tuples(st.just("path"), st.booleans()),
+        st.tuples(st.just("codec"),
+                  st.sampled_from(("encode", "decode")), _durations),
+        st.tuples(st.just("exemplar"), _durations,
+                  st.text("abcdef0123456789", min_size=4, max_size=8),
+                  st.integers(0, 1 << 16)),
+    ),
+    max_size=30,
+)
+
+
+def _profile_from(events):
+    out = OpProfile("op", "request")
+    for event in events:
+        if event[0] == "size":
+            out.size.observe(event[1])
+            out.calls += 1
+            out.sampled += 1
+        elif event[0] == "length":
+            out.length(event[1], _KINDS[event[1]], event[2])
+        elif event[0] == "arm":
+            out.arm(event[1], event[2])
+        elif event[0] == "path":
+            out.paths.inc("fused" if event[1] else "re-encode")
+        elif event[0] == "codec":
+            out.codec_hist(event[1]).observe(event[2])
+        else:
+            out.note_exemplar(event[1], event[2], event[2], event[3])
+    return out
+
+
+def _copy(op_profile):
+    return OpProfile.from_json(op_profile.to_json())
+
+
+class TestMergeLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(_events, _events, _events)
+    def test_merge_is_associative(self, ea, eb, ec):
+        a, b, c = map(_profile_from, (ea, eb, ec))
+        left = _copy(a).merge(_copy(b).merge(_copy(c)))
+        right = _copy(a).merge(_copy(b)).merge(_copy(c))
+        assert left.to_json() == right.to_json()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_events, _events)
+    def test_merge_is_commutative(self, ea, eb):
+        a, b = map(_profile_from, (ea, eb))
+        ab = _copy(a).merge(_copy(b))
+        ba = _copy(b).merge(_copy(a))
+        assert ab.to_json() == ba.to_json()
+
+    def test_merge_rejects_mismatched_ops(self):
+        with pytest.raises(ValueError):
+            OpProfile("a", "request").merge(OpProfile("b", "request"))
+
+    def test_snapshot_merge_unions_ops_and_keeps_coarser_rate(self):
+        a = ProfileSnapshot(sample=1)
+        a.profile("send", "request").calls = 5
+        b = ProfileSnapshot(sample=64)
+        b.profile("list", "reply").calls = 3
+        a.merge(b)
+        assert a.sample == 64
+        assert a.op_names() == ["list", "send"]
+
+    def test_snapshot_file_round_trip(self, tmp_path):
+        snapshot = ProfileSnapshot(sample=8)
+        prof = snapshot.profile("send", "request")
+        prof.calls = 16
+        prof.size.observe(120)
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        back = ProfileSnapshot.load(path)
+        assert back.to_json() == snapshot.to_json()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError):
+            ProfileSnapshot.load(path)
+
+
+# ----------------------------------------------------------------------
+# Zero cost when off; sampling when on
+# ----------------------------------------------------------------------
+
+def _compile_fs():
+    return Flick(frontend="corba", backend="iiop").compile(FS_IDL)
+
+
+class TestSwap:
+    def test_instrumenting_while_off_leaves_codecs_untouched(self):
+        module = _compile_fs().load_module()
+        before = module._m_req_list
+        profile.instrument_stub_module(module)
+        assert module._m_req_list is before
+
+    def test_configure_wraps_and_shutdown_restores(self):
+        module = _compile_fs().load_module()
+        profile.instrument_stub_module(module)
+        original = module._m_req_list
+        profile.configure(sample=1)
+        assert module._m_req_list is not original
+        buffer = MarshalBuffer()
+        module._m_req_list(buffer, 3, 4)
+        snapshot = profile.shutdown()
+        assert module._m_req_list is original
+        assert snapshot.profile("list", "request").calls == 1
+
+    def test_wrapped_wire_bytes_are_identical(self):
+        plain = _compile_fs().load_module()
+        wrapped = profile.instrument_stub_module(_compile_fs().load_module())
+        profile.configure(sample=1)
+        for module in (wrapped, plain):
+            buffer = MarshalBuffer()
+            module._m_req_find(buffer, 9, (1, "*.txt"))
+            if module is plain:
+                assert buffer.getvalue() == observed
+            else:
+                observed = buffer.getvalue()
+
+    def test_sampling_rate_bounds_the_recorded_subset(self):
+        module = profile.instrument_stub_module(_compile_fs().load_module())
+        profile.configure(sample=8)
+        buffer = MarshalBuffer()
+        for _ in range(64):
+            buffer.reset()
+            module._m_req_list(buffer, 1, 2)
+        snapshot = profile.shutdown()
+        prof = snapshot.profile("list", "request")
+        assert prof.calls == 64
+        assert prof.sampled == 8
+
+    def test_decode_failures_still_raise_through_the_wrapper(self):
+        module = profile.instrument_stub_module(_compile_fs().load_module())
+        profile.configure(sample=1)
+        with pytest.raises(Exception):
+            module._u_req_list(b"\x00", 0)
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario
+# ----------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_skewed_workload_profiles_through_live_server(
+            self, fs_result, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        snap_path = tmp_path / "snap.json"
+        module = fs_result.load_module()
+        obs.configure(obs.JsonlExporter(str(trace_path)))
+        obs.instrument_stub_module(module)
+        stats = ServerStats()
+        profile.configure(sample=1, registry=stats.registry)
+        profile.instrument_stub_module(module)
+        try:
+            server = StubServer(module, FsImpl(module)).aio_server(
+                stats=stats)
+            with server:
+                transport = TcpClientTransport(*server.address)
+                try:
+                    client = module.FsClient(transport)
+                    for index in range(20):
+                        # Bimodal listing lengths: mostly 2, tail of 30.
+                        n = 30 if index % 4 == 0 else 2
+                        assert len(client.list(n)) == n
+                        # Lopsided union: by_inode dominates 9:1.
+                        q = (1, "*.rs") if index % 10 == 0 \
+                            else (0, index)
+                        assert client.find(q) == 7
+                finally:
+                    transport.close()
+            snapshot = profile.shutdown()
+            snapshot.save(snap_path)
+        finally:
+            profile.shutdown()
+            obs.shutdown()
+
+        assert cli.main(["profile", str(snap_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sample"] == 1
+
+        listing = document["ops"]["list"]["summary"]["reply"]
+        lengths = listing["channels"]["_return"]
+        assert lengths["kind"] == "seq"
+        # The two workload modes, exactly.  Client and server run in
+        # one process here, so each call's reply is probed twice (the
+        # server encodes, the client decodes): 15 short lists and 5
+        # long ones observe as 30 and 10.
+        assert sorted(lengths["modes"]) == [[2, 30], [30, 10]]
+
+        find = document["ops"]["find"]["summary"]["request"]
+        arm = find["arms"]["q"]
+        assert arm["top"] == "0"
+        assert arm["skew"] == pytest.approx(0.9)
+
+        # At least one slow-tail exemplar joins to the trace export.
+        exported = {
+            json.loads(line)["trace_id"]
+            for line in trace_path.read_text().splitlines()
+        }
+        exemplars = [
+            exemplar
+            for op_doc in document["ops"].values()
+            for direction in op_doc["directions"].values()
+            for exemplar in direction["exemplars"]
+        ]
+        assert exemplars
+        assert any(e["trace_id"] in exported for e in exemplars)
+
+    def test_profile_endpoint_serves_the_live_snapshot(self, fs_result):
+        module = fs_result.load_module()
+        stats = ServerStats()
+        profile.configure(sample=1, registry=stats.registry)
+        profile.instrument_stub_module(module)
+        buffer = MarshalBuffer()
+        module._m_req_list(buffer, 5, 12)
+        with obs.MetricsHttpServer(stats.registry) as endpoint:
+            url = "http://%s:%d/profile" % endpoint.address[:2]
+            with urllib.request.urlopen(url) as response:
+                assert response.headers["Content-Type"] \
+                    .startswith("application/json")
+                live = json.loads(response.read().decode())
+        snapshot = ProfileSnapshot.from_json(live)
+        assert snapshot.profile("list", "request").calls == 1
+
+    def test_profile_endpoint_404s_while_off(self, fs_result):
+        stats = ServerStats()
+        with obs.MetricsHttpServer(stats.registry) as endpoint:
+            url = "http://%s:%d/profile" % endpoint.address[:2]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 404
+
+    def test_flick_top_once_renders_the_op_table(self, fs_result, capsys):
+        module = fs_result.load_module()
+        stats = ServerStats()
+        profile.configure(sample=1, registry=stats.registry)
+        profile.instrument_stub_module(module)
+        server = StubServer(module, FsImpl(module)).aio_server(stats=stats)
+        with server:
+            transport = TcpClientTransport(*server.address)
+            try:
+                client = module.FsClient(transport)
+                for _ in range(5):
+                    client.list(3)
+            finally:
+                transport.close()
+            with obs.MetricsHttpServer(stats.registry) as endpoint:
+                target = "%s:%d" % endpoint.address[:2]
+                assert cli.main(["top", target, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "list" in out
+        assert "p99 ms" in out
+
+    def test_cli_profile_rejects_unknown_op(self, tmp_path, capsys):
+        snapshot = ProfileSnapshot()
+        snapshot.profile("send", "request").calls = 1
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        assert cli.main(["profile", str(path), "--op", "nope"]) == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_cli_profile_merges_worker_snapshots(self, tmp_path, capsys):
+        paths = []
+        for index in (1, 2):
+            snapshot = ProfileSnapshot(sample=1)
+            prof = snapshot.profile("send", "request")
+            prof.calls = prof.sampled = 10 * index
+            prof.size.observe(100)
+            path = tmp_path / ("worker%d.json" % index)
+            snapshot.save(path)
+            paths.append(str(path))
+        assert cli.main(["profile", "--json"] + paths) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ops"]["send"]["summary"]["request"]["calls"] == 30
+
+
+# ----------------------------------------------------------------------
+# The gateway: dynamic fused ratio vs the static prediction
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def onc_result():
+    return compile_mail("oncrpc-xdr")
+
+
+@pytest.fixture(scope="module")
+def iiop_result():
+    return compile_mail("iiop")
+
+
+@contextlib.contextmanager
+def _bridge(ingress_result, egress_result, stats=None):
+    egress_module = egress_result.load_module()
+    upstream = StubServer(egress_module, MailImpl(egress_module)) \
+        .tcp_server()
+    with upstream:
+        plan = build_plan(ingress_result, egress_result)
+        gateway = AioGatewayServer(
+            plan, upstream.address[0], upstream.address[1], stats=stats)
+        with gateway:
+            yield gateway
+
+
+class TestGatewayProfile:
+    def test_dynamic_fused_ratio_matches_static_prediction(
+            self, iiop_result, onc_result):
+        profile.configure(sample=1)
+        module = iiop_result.load_module()
+        with _bridge(iiop_result, onc_result) as gateway:
+            transport = TcpClientTransport(*gateway.address)
+            try:
+                client = module.Test_MailClient(transport)
+                for _ in range(10):
+                    client.avg([1, 2, 3, 4])   # fuses both ways
+                    client.reverse(b"ab")      # re-encodes both ways
+            finally:
+                transport.close()
+        snapshot = profile.shutdown()
+        predicted = predict_fused(iiop_result, onc_result)
+        for op in ("avg", "reverse"):
+            for direction in ("request", "reply"):
+                prof = snapshot.profile(op, direction)
+                assert prof.paths.total == 10
+                dynamic = prof.fused_fraction
+                static = 1.0 if predicted[op][direction].fused else 0.0
+                assert abs(dynamic - static) <= 0.05, (op, direction)
+
+    def test_transcode_profiles_carry_sizes_and_latency(
+            self, iiop_result, onc_result):
+        profile.configure(sample=1)
+        module = iiop_result.load_module()
+        with _bridge(iiop_result, onc_result) as gateway:
+            transport = TcpClientTransport(*gateway.address)
+            try:
+                module.Test_MailClient(transport).avg([5, 6, 7])
+            finally:
+                transport.close()
+        snapshot = profile.shutdown()
+        prof = snapshot.profile("avg", "request")
+        assert prof.size.total == 1
+        assert prof.size.sum > 0
+        assert prof.codec_hist("transcode").total == 1
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_unified_family_and_deprecated_alias_coexist(
+            self, iiop_result, onc_result):
+        stats = ServerStats()
+        module = iiop_result.load_module()
+        with _bridge(iiop_result, onc_result, stats=stats) as gateway:
+            transport = TcpClientTransport(*gateway.address)
+            try:
+                module.Test_MailClient(transport).avg([1, 2])
+            finally:
+                transport.close()
+        text = stats.registry.render_prometheus()
+        assert 'flick_profile_transcode_total{bridge="giop->oncrpc"' \
+            in text
+        assert 'direction="reply"' in text
+        # The old name still answers, flagged deprecated, requests only.
+        assert 'flick_gateway_requests_total' in text
+        assert 'Deprecated' in text
+
+    def test_deprecated_alias_warns_once(self, iiop_result, onc_result):
+        from repro.gateway import proxy
+
+        proxy._deprecated_counters_warned[0] = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with _bridge(iiop_result, onc_result, stats=ServerStats()):
+                    pass
+                with _bridge(iiop_result, onc_result, stats=ServerStats()):
+                    pass
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)
+                            and "flick_gateway_requests_total"
+                            in str(w.message)]
+            assert len(deprecations) == 1
+        finally:
+            proxy._deprecated_counters_warned[0] = True
+
+
+# ----------------------------------------------------------------------
+# The renderer hint
+# ----------------------------------------------------------------------
+
+class TestRendererHint:
+    def _profile_with(self, nbytes, var_fields, var_bytes_each):
+        prof = OpProfile("op", "request")
+        prof.calls = prof.sampled = 10
+        for _ in range(10):
+            prof.size.observe(nbytes)
+            for index in range(var_fields):
+                prof.length("f%d" % index, "str", var_bytes_each)
+        return prof
+
+    def test_fixed_heavy_payloads_pick_closures(self):
+        prof = self._profile_with(4096, 0, 0)
+        renderer, reason, scores = profile.renderer_hint([prof])
+        assert renderer == "closures"
+        assert scores["closures"] < scores["py"]
+        assert "fixed" in reason
+
+    def test_string_heavy_payloads_pick_py(self):
+        prof = self._profile_with(200, 8, 16)
+        renderer, _reason, scores = profile.renderer_hint([prof])
+        assert renderer == "py"
+        assert scores["py"] < scores["closures"]
+
+    def test_no_samples_keeps_the_default(self):
+        renderer, reason, scores = profile.renderer_hint([])
+        assert renderer == "py"
+        assert scores == {}
