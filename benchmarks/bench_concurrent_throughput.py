@@ -31,14 +31,19 @@ the table keeps the comparison honest.
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
+import threading
 import time
 
 import pytest
 
 from benchmarks.harness import compiled, fmt, print_table, save_json
+from repro import Flick
 from repro.encoding import MarshalBuffer
 from repro.runtime import StubServer
 from repro.runtime.aio import ConnectionPool
+from repro.runtime.supervisor import Supervisor, WorkerConfig
 from repro.workloads import make_int_array
 
 CLIENT_COUNTS = (1, 8, 64)
@@ -184,3 +189,137 @@ class TestConcurrentThroughput:
         for clients in CLIENT_COUNTS:
             assert rates[("aio", clients)] > 0
             assert rates[("blocking", clients)] > 0
+
+
+# ----------------------------------------------------------------------
+# Multi-process serving (`flick serve --workers N`)
+# ----------------------------------------------------------------------
+
+WORKER_COUNTS = (1, 2, 4)
+MULTIPROC_WINDOW = 1.5
+
+#: Client driver threads, each with its own event loop and pool — one
+#: asyncio loop cannot saturate several server processes by itself.
+DRIVER_THREADS = 4
+CLIENTS_PER_DRIVER = 8
+
+MULTIPROC_IDL = """
+interface Bench {
+    double churn(in sequence<long> xs);
+};
+"""
+
+#: CPU-bound servant: per-call work the GIL serializes in one process.
+MULTIPROC_SERVANT = """\
+class BenchServant:
+    def churn(self, xs):
+        total = 0
+        for value in xs:
+            total += value * value
+        return float(total)
+"""
+
+
+def _churn_request(module):
+    buffer = MarshalBuffer()
+    module._m_req_churn(buffer, 1, make_int_array(2048))
+    return buffer.getvalue()
+
+
+def _drive_threaded(address, request, window):
+    """Aggregate calls/s from several independent client loops."""
+    totals = []
+    lock = threading.Lock()
+
+    def driver():
+        async def main():
+            pool = ConnectionPool(*address, pool_size=4)
+            stop_at = time.perf_counter() + window
+
+            async def worker():
+                count = 0
+                while time.perf_counter() < stop_at:
+                    await pool.acall(request)
+                    count += 1
+                return count
+
+            counts = await asyncio.gather(
+                *[worker() for _ in range(CLIENTS_PER_DRIVER)]
+            )
+            await pool.aclose()
+            return sum(counts)
+
+        result = asyncio.run(main())
+        with lock:
+            totals.append(result)
+
+    threads = [
+        threading.Thread(target=driver) for _ in range(DRIVER_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sum(totals) / window
+
+
+def _measure_workers(tmp_dir):
+    idl_path = os.path.join(tmp_dir, "bench.idl")
+    with open(idl_path, "w") as handle:
+        handle.write(MULTIPROC_IDL)
+    with open(os.path.join(tmp_dir, "bench_servant.py"), "w") as handle:
+        handle.write(MULTIPROC_SERVANT)
+    module = Flick(frontend="corba", backend="oncrpc-xdr") \
+        .compile(MULTIPROC_IDL).load_module()
+    request = _churn_request(module)
+    template = WorkerConfig(
+        kind="serve", lang="corba", backend="oncrpc-xdr",
+        impl="bench_servant:BenchServant", dispatch_mode="inline",
+        sys_paths=[tmp_dir])
+    rates = {}
+    for workers in WORKER_COUNTS:
+        supervisor = Supervisor(
+            template, workers, idl_path=idl_path,
+            report=lambda line: None)
+        with supervisor:
+            rates[workers] = _drive_threaded(
+                (supervisor.host, supervisor.port), request,
+                MULTIPROC_WINDOW)
+    return rates
+
+
+class TestMultiprocThroughput:
+    def test_workers_column(self, benchmark):
+        """Same CPU-bound workload, one supervised fleet per row: the
+        workers column shows what `--workers N` buys once a single
+        process's GIL is the ceiling.  No ratio assertion — CI boxes
+        have wildly different core counts; the JSON records the curve."""
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            rates = benchmark.pedantic(
+                lambda: _measure_workers(tmp_dir),
+                rounds=1, iterations=1,
+            )
+        rows = [
+            [str(workers), fmt(rates[workers]),
+             fmt(rates[workers] / rates[WORKER_COUNTS[0]])]
+            for workers in WORKER_COUNTS
+        ]
+        print_table(
+            "Supervised multi-process throughput, CPU-bound servant "
+            "(calls/s)",
+            ("workers", "calls/s", "vs 1 worker"),
+            rows,
+            save_as="concurrent_throughput_multiproc",
+        )
+        save_json("multiproc", {
+            "cpu_count": os.cpu_count(),
+            "window_s": MULTIPROC_WINDOW,
+            "driver_threads": DRIVER_THREADS,
+            "clients_per_driver": CLIENTS_PER_DRIVER,
+            "calls_per_s": {
+                "workers_%d" % workers: rate
+                for workers, rate in rates.items()
+            },
+        })
+        for workers in WORKER_COUNTS:
+            assert rates[workers] > 0

@@ -33,6 +33,7 @@ from repro.errors import (
     CircuitOpenError,
     DeadlineError,
     RemoteCallError,
+    StaleConnectionError,
     TransportError,
     WireFormatError,
 )
@@ -60,6 +61,7 @@ class AioConnection:
         self._closed = False
         self._close_reason = None
         self._stats = stats
+        self._completed = 0  # calls answered over this connection
         self.orphan_replies = 0
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
@@ -184,23 +186,51 @@ class AioConnection:
         future = asyncio.get_running_loop().create_future()
         self._pending[wire_id] = (future, info.correlation_id)
         try:
-            with trace.span("send", bytes=len(data)):
-                async with self._write_lock:
-                    self._writer.write(encode_record(data))
-                    await self._writer.drain()
+            try:
+                with trace.span("send", bytes=len(data)):
+                    async with self._write_lock:
+                        self._writer.write(encode_record(data))
+                        await self._writer.drain()
+            except (ConnectionError, OSError) as error:
+                # The connection died under the send.  Drop our own
+                # pending entry first (its future must not receive the
+                # blanket failure below — we raise right here), then
+                # fail whatever else was in flight and close.
+                self._pending.pop(wire_id, None)
+                reused = self._completed > 0
+                self._fail_pending("connection lost during send: %s"
+                                   % error)
+                if reused:
+                    raise StaleConnectionError(
+                        "pooled connection to %s was dead at send"
+                        " time: %s" % (self._peer_name(), error)
+                    ) from error
+                raise TransportError(
+                    "connection lost during send: %s" % error
+                ) from error
             with trace.span("await.reply"):
                 if deadline is None:
-                    return await future
-                try:
-                    return await asyncio.wait_for(future, deadline)
-                except asyncio.TimeoutError:
-                    if self._stats is not None:
-                        self._stats.deadline_expiries.inc()
-                    raise DeadlineError(
-                        "call exceeded its %.3fs deadline" % deadline
-                    ) from None
+                    result = await future
+                else:
+                    try:
+                        result = await asyncio.wait_for(future, deadline)
+                    except asyncio.TimeoutError:
+                        if self._stats is not None:
+                            self._stats.deadline_expiries.inc()
+                        raise DeadlineError(
+                            "call exceeded its %.3fs deadline" % deadline
+                        ) from None
+            self._completed += 1
+            return result
         finally:
             self._pending.pop(wire_id, None)
+
+    def _peer_name(self):
+        try:
+            peer = self._writer.get_extra_info("peername")
+        except Exception:
+            peer = None
+        return "%s:%s" % peer[:2] if peer else "peer"
 
     async def asend(self, payload):
         """Send a oneway request (no reply expected)."""
@@ -212,10 +242,22 @@ class AioConnection:
             parent = trace.current_span()
             if parent is not None:
                 payload = propagation.inject(payload, parent)
-        with trace.span("send", bytes=len(payload)):
-            async with self._write_lock:
-                self._writer.write(encode_record(bytes(payload)))
-                await self._writer.drain()
+        try:
+            with trace.span("send", bytes=len(payload)):
+                async with self._write_lock:
+                    self._writer.write(encode_record(bytes(payload)))
+                    await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            reused = self._completed > 0
+            self._fail_pending("connection lost during send: %s" % error)
+            if reused:
+                raise StaleConnectionError(
+                    "pooled connection to %s was dead at send time: %s"
+                    % (self._peer_name(), error)
+                ) from error
+            raise TransportError(
+                "connection lost during send: %s" % error
+            ) from error
 
     async def aclose(self):
         self._reader_task.cancel()
@@ -347,13 +389,32 @@ class ConnectionPool:
                 continue  # backoff, then probe again
             wrote_request = False
             try:
-                with trace.span("pool.acquire"):
-                    connection = await self._get_connection()
-                self._update_gauges()
-                wrote_request = True  # past here the server may execute it
-                result = await connection.acall(
-                    payload, deadline=options.deadline
-                )
+                # A connection that died while pooled fails instantly at
+                # send time (StaleConnectionError: the request was never
+                # delivered).  Idempotent calls get a free immediate
+                # retry on a fresh connection — no backoff sleep, no
+                # attempt consumed, and a full per-attempt deadline —
+                # bounded by the pool size (every pooled connection
+                # could be stale after a server restart).
+                stale_budget = max(1, self.size)
+                while True:
+                    with trace.span("pool.acquire"):
+                        connection = await self._get_connection()
+                    self._update_gauges()
+                    wrote_request = True  # past here the server may run it
+                    try:
+                        result = await connection.acall(
+                            payload, deadline=options.deadline
+                        )
+                    except StaleConnectionError:
+                        wrote_request = False  # the send never landed
+                        if options.idempotent and stale_budget > 0:
+                            if stats is not None:
+                                stats.transport_errors.inc()
+                            stale_budget -= 1
+                            continue
+                        raise  # the outer handler counts and classifies
+                    break
                 # A protocol error reply (GARBAGE_ARGS, MARSHAL, ...)
                 # means the request never reached the servant; surface
                 # it here so idempotent calls retry through transient

@@ -99,13 +99,17 @@ class AioTcpServer:
             (``None`` queues unboundedly via backpressure).
         fault_plan: an optional :class:`repro.faults.FaultPlan` applied
             to inbound requests (chaos testing of this server's clients).
+        listen_sock: an already-bound ``socket.socket`` to accept on
+            instead of binding *host*/*port* — how supervised workers
+            share one address (their own ``SO_REUSEPORT`` socket, or a
+            listener inherited from the parent process).
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
                  max_concurrency=64, dispatch_mode="thread", stats=None,
                  op_names=None, drain_timeout=5.0,
                  max_record_size=MAX_RECORD_SIZE, error_encoder=None,
-                 max_pending=None, fault_plan=None):
+                 max_pending=None, fault_plan=None, listen_sock=None):
         if dispatch_mode not in ("thread", "inline"):
             raise ValueError(
                 "dispatch_mode must be 'thread' or 'inline', not %r"
@@ -124,6 +128,7 @@ class AioTcpServer:
         self.error_encoder = error_encoder
         self.max_pending = max_pending
         self.fault_plan = fault_plan
+        self.listen_sock = listen_sock
         self._injector = None
         self._pending_waiters = 0
         self.address = None
@@ -157,18 +162,44 @@ class AioTcpServer:
                 thread_name_prefix="flick-aio",
             )
         self._closing = False
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port
-        )
+        if self.listen_sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self.listen_sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port
+            )
         self.address = self._server.sockets[0].getsockname()
         return self
 
-    async def aclose(self, drain=True):
-        """Graceful shutdown: refuse new work, drain in-flight, close."""
+    @property
+    def accepting(self):
+        """True while the listener is open and not draining."""
+        return self._server is not None and not self._closing
+
+    @property
+    def in_flight(self):
+        """Requests currently being served (draining waits on these)."""
+        return len(self._tasks)
+
+    async def drain_async(self):
+        """Stop accepting new connections; keep in-flight work running.
+
+        The first half of :meth:`aclose`, exposed separately so a
+        supervised worker can refuse new accepts the moment a rollout
+        (or SIGTERM) arrives, finish its in-flight replies, and only
+        then tear connections down.
+        """
         self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+            self._server = None
+
+    async def aclose(self, drain=True):
+        """Graceful shutdown: refuse new work, drain in-flight, close."""
+        await self.drain_async()
         if drain and self._tasks:
             done, pending = await asyncio.wait(
                 set(self._tasks), timeout=self.drain_timeout
@@ -459,6 +490,15 @@ class AioTcpServer:
             started.set()
         await self._stop_event.wait()
         await self.aclose()
+
+    def drain(self, timeout=None):
+        """Bounded graceful drain (the SIGTERM path).
+
+        :meth:`stop` already refuses new work and drains in-flight
+        requests (``aclose`` grants them *drain_timeout* seconds); this
+        alias gives every server the same drain verb.
+        """
+        self.stop(timeout=timeout)
 
     def stop(self, timeout=None):
         """Gracefully stop a server started with :meth:`start`."""

@@ -201,10 +201,12 @@ class TcpServer:
         self._listener.listen(64)
         self.address = self._listener.getsockname()
         self._running = False
+        self._draining = False
         self._thread = None
         self._lock = threading.Lock()
         self._workers = []
         self._connections = set()
+        self._busy = set()  # connections currently serving a request
 
     def start(self):
         self._running = True
@@ -242,6 +244,8 @@ class TcpServer:
         try:
             connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while True:
+                if self._draining:
+                    return
                 try:
                     request = _recv_record(connection, self._max_record_size)
                 except WireFormatError:
@@ -252,24 +256,35 @@ class TcpServer:
                     return
                 except TransportError:
                     return
-                if injector is None:
-                    if not self._serve_request(connection, request, buffer):
+                # From here until the reply is written this connection is
+                # in flight: drain() leaves it alone (its reply must be
+                # delivered) and the loop exits before the *next* recv.
+                with self._lock:
+                    self._busy.add(connection)
+                try:
+                    if injector is None:
+                        if not self._serve_request(
+                                connection, request, buffer):
+                            return
+                        continue
+                    outcome = injector.on_message(request)
+                    if outcome.reset:
                         return
-                    continue
-                outcome = injector.on_message(request)
-                if outcome.reset:
-                    return
-                for delivery in outcome.deliveries:
-                    if delivery.delay_s:
-                        time.sleep(delivery.delay_s)
-                    if not self._serve_request(
-                            connection, delivery.payload, buffer):
-                        return
+                    for delivery in outcome.deliveries:
+                        if delivery.delay_s:
+                            time.sleep(delivery.delay_s)
+                        if not self._serve_request(
+                                connection, delivery.payload, buffer):
+                            return
+                finally:
+                    with self._lock:
+                        self._busy.discard(connection)
         except OSError:
             pass
         finally:
             with self._lock:
                 self._connections.discard(connection)
+                self._busy.discard(connection)
             connection.close()
 
     def _serve_request(self, connection, request, buffer):
@@ -336,6 +351,48 @@ class TcpServer:
             return True
         except Exception:  # a failing encoder must not kill the worker
             return False
+
+    def drain(self, timeout=5.0):
+        """Graceful bounded drain: refuse new work, deliver in-flight
+        replies, then close.
+
+        The SIGTERM path (``flick serve`` wires it up): the listener
+        closes immediately (new connects are refused), idle connections
+        are shut down, and connections mid-request get up to *timeout*
+        seconds to finish — their replies are written before the close.
+        Always leaves the server fully stopped.
+        """
+        deadline = time.monotonic() + timeout
+        self._draining = True
+        self._running = False
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            idle = [connection for connection in self._connections
+                    if connection not in self._busy]
+            workers = list(self._workers)
+        for connection in idle:
+            # Wake the worker blocked in recv() with EOF; its write side
+            # stays open in case a request just landed (the reply must
+            # still go out).
+            try:
+                connection.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(
+                timeout=max(0.0, deadline - time.monotonic()))
+            self._thread = None
+        for worker in workers:
+            worker.join(timeout=max(0.05, deadline - time.monotonic()))
+        # Anything still alive overran the drain budget: hard stop.
+        self.stop(timeout=0.5)
 
     def stop(self, timeout=2.0):
         """Close the listener, unblock workers, and join all threads."""
@@ -516,6 +573,16 @@ class UdpServer:
             return True
         except Exception:  # never let the encoder kill the loop
             return False
+
+    def drain(self, timeout=5.0):
+        """Bounded graceful drain (the SIGTERM path).
+
+        The serve loop is single-threaded and checks ``_running`` per
+        datagram, so :meth:`stop` already finishes the in-flight
+        datagram — and sends its reply — before the join returns; this
+        alias exists so every server exposes the same drain verb.
+        """
+        self.stop(timeout=timeout)
 
     def stop(self, timeout=2.0):
         self._running = False

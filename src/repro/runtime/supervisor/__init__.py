@@ -1,0 +1,44 @@
+"""Multi-process supervised serving with zero-downtime schema rollout.
+
+``flick serve --workers N`` (and ``flick gateway --workers N``) runs a
+*supervisor*: a parent process that owns the listen address, spawns N
+worker processes sharing it (``SO_REUSEPORT`` accept sharding, or an
+inherited listener where the option is missing), and keeps the fleet
+serving through crashes and schema changes:
+
+* a worker that dies is restarted with exponential backoff per slot;
+  in-flight calls on the dead worker fail over via the client runtime's
+  retry and stale-connection handling;
+* ``SIGHUP`` re-reads the IDL file, diffs the running schema against it
+  with the :mod:`repro.compat` engine, and — only when the verdict is
+  ``WIRE_IDENTICAL`` or ``DECODE_COMPATIBLE`` — rolls new workers in
+  one at a time with a graceful drain, so some workers always accept;
+  a ``BREAKING`` change is refused with the full compat report and the
+  old generation keeps serving;
+* per-worker ``ServerStats`` and payload-shape profiles aggregate onto
+  one ``/metrics`` + ``/profile`` endpoint, next to ``/healthz``
+  (liveness) and ``/readyz`` (readiness: every worker accepting).
+
+The pieces: :mod:`~repro.runtime.supervisor.config` is the JSON contract
+between parent and worker; :mod:`~repro.runtime.supervisor.control` the
+per-worker control channel; :mod:`~repro.runtime.supervisor.worker` the
+worker entry point (``python -m repro.runtime.supervisor.worker``);
+:mod:`~repro.runtime.supervisor.supervisor` the parent;
+:mod:`~repro.runtime.supervisor.endpoint` the aggregated HTTP endpoint.
+"""
+
+from repro.runtime.supervisor.config import WorkerConfig
+from repro.runtime.supervisor.control import ControlClient
+from repro.runtime.supervisor.supervisor import (
+    Supervisor,
+    merge_prometheus,
+)
+from repro.runtime.supervisor.endpoint import SupervisorHttpServer
+
+__all__ = [
+    "ControlClient",
+    "merge_prometheus",
+    "Supervisor",
+    "SupervisorHttpServer",
+    "WorkerConfig",
+]

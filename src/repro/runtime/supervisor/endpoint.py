@@ -1,0 +1,185 @@
+"""The supervisor's aggregated HTTP endpoint.
+
+One tiny HTTP/1.0 server (the :class:`~repro.obs.http
+.MetricsHttpServer` idiom) exposing the whole fleet:
+
+``GET /metrics``
+    Supervisor restart/rollout/up metrics plus every worker's
+    ``ServerStats``, summed into one Prometheus exposition.
+``GET /profile``
+    The workers' live payload-shape profiles merged into one
+    :class:`~repro.obs.profile.ProfileSnapshot` JSON (404 while
+    profiling is off).
+``GET /healthz``
+    Liveness: 200 while the supervisor runs, regardless of worker
+    state — a crashed worker is the supervisor's job, not the
+    orchestrator's.
+``GET /readyz``
+    Readiness: 200 only when **every** worker is accepting and none is
+    draining; 503 otherwise (a rolling schema swap flickers this, by
+    design).
+
+Aggregation needs blocking control-channel round-trips, so each request
+runs its handler on the default executor instead of the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+#: Cap on request-head size; anything longer is not a scraper.
+MAX_REQUEST_BYTES = 8192
+
+
+class SupervisorHttpServer:
+    """Serves the fleet's aggregated observability endpoints."""
+
+    def __init__(self, supervisor, host="127.0.0.1", port=0):
+        self.supervisor = supervisor
+        self._host = host
+        self._port = port
+        self.address = None
+        self._server = None
+        self._loop = None
+        self._thread = None
+        self._stop_event = None
+        self._start_error = None
+
+    # -- responses ------------------------------------------------------
+
+    def _respond(self, path):
+        """(status, content_type, body) for one GET; runs off-loop."""
+        supervisor = self.supervisor
+        if path == b"/metrics":
+            body = supervisor.metrics_text().encode("utf-8")
+            return (b"200 OK",
+                    b"text/plain; version=0.0.4; charset=utf-8", body)
+        if path == b"/profile":
+            import json
+
+            merged = supervisor.profile_json()
+            if merged is None:
+                return (b"404 Not Found",
+                        b"text/plain; charset=utf-8",
+                        b"profiling is off\n")
+            return (b"200 OK", b"application/json; charset=utf-8",
+                    json.dumps(merged, sort_keys=True).encode("utf-8"))
+        if path == b"/healthz":
+            if supervisor.healthy():
+                return (b"200 OK", b"text/plain; charset=utf-8",
+                        b"ok\n")
+            return (b"503 Service Unavailable",
+                    b"text/plain; charset=utf-8", b"stopping\n")
+        if path == b"/readyz":
+            if supervisor.ready():
+                return (b"200 OK", b"text/plain; charset=utf-8",
+                        b"ready\n")
+            return (b"503 Service Unavailable",
+                    b"text/plain; charset=utf-8", b"not ready\n")
+        return (b"404 Not Found", b"text/plain; charset=utf-8",
+                b"try /metrics /profile /healthz /readyz\n")
+
+    # -- async API ------------------------------------------------------
+
+    async def start_async(self):
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port)
+        self.address = self._server.sockets[0].getsockname()
+        return self
+
+    async def aclose(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError, OSError):
+            writer.close()
+            return
+        if len(head) > MAX_REQUEST_BYTES:
+            writer.close()
+            return
+        request_line = head.split(b"\r\n", 1)[0].split(b" ")
+        path = request_line[1] if len(request_line) >= 2 else b""
+        clean_path = path.split(b"?", 1)[0]
+        try:
+            if request_line[:1] == [b"GET"]:
+                status, content_type, body = \
+                    await self._loop.run_in_executor(
+                        None, self._respond, clean_path)
+            else:
+                status = b"404 Not Found"
+                content_type = b"text/plain; charset=utf-8"
+                body = b"GET only\n"
+            writer.write(b"HTTP/1.0 " + status + b"\r\n"
+                         b"Content-Type: " + content_type + b"\r\n"
+                         b"Content-Length: " + str(len(body)).encode()
+                         + b"\r\n"
+                         b"Connection: close\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    # -- sync facade ----------------------------------------------------
+
+    def start(self):
+        """Serve on a background event-loop thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("supervisor endpoint already started")
+        started = threading.Event()
+        self._start_error = None
+
+        def run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self._run_on_thread(started))
+            finally:
+                started.set()
+                asyncio.set_event_loop(None)
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="flick-supervisor-http", daemon=True)
+        self._thread.start()
+        started.wait()
+        if self._start_error is not None:
+            error, self._start_error = self._start_error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    async def _run_on_thread(self, started):
+        self._stop_event = asyncio.Event()
+        try:
+            await self.start_async()
+        except Exception as error:
+            self._start_error = error
+            return
+        finally:
+            started.set()
+        await self._stop_event.wait()
+        await self.aclose()
+
+    def stop(self, timeout=5.0):
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        return False

@@ -1,0 +1,257 @@
+"""The supervised worker process: ``python -m
+repro.runtime.supervisor.worker CONFIG.json``.
+
+A worker compiles its generation's IDL, binds its share of the listen
+address (its own ``SO_REUSEPORT`` socket, or the listener inherited
+from the parent), and serves it with the asyncio runtime while
+answering the parent's control channel (status / metrics / profile /
+drain).  ``SIGTERM`` and a ``drain`` command mean the same thing:
+refuse new accepts, finish in-flight replies within the drain timeout,
+write the profile snapshot (when profiling), exit 0.  EOF on the
+control channel means the parent died; the worker drains and exits so
+a half-killed fleet never lingers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import json
+import os
+import signal
+import socket
+import sys
+
+from repro.errors import FlickError
+from repro.runtime.supervisor.config import WorkerConfig
+
+
+def _load_servant(spec, stub_module):
+    """Instantiate a ``module:Class`` servant (as ``flick serve`` does)."""
+    module_name, separator, class_name = spec.partition(":")
+    if not separator or not module_name or not class_name:
+        raise FlickError(
+            "worker impl must look like module:Class, not %r" % spec)
+    try:
+        impl_module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise FlickError(
+            "cannot import servant module %r: %s" % (module_name, error))
+    try:
+        impl_class = getattr(impl_module, class_name)
+    except AttributeError:
+        raise FlickError(
+            "module %r has no class %r" % (module_name, class_name))
+    try:
+        return impl_class(stub_module)
+    except TypeError:
+        return impl_class()
+
+
+def _compile_one(path, lang, *, interface, pgen, backend):
+    """Compile one interface from *path* (mirrors the serve verb)."""
+    from repro import api
+
+    with open(path) as handle:
+        text = handle.read()
+    if lang is None:
+        lang = api.detect_lang(text, name=path)
+    if interface:
+        return api.compile(
+            text, lang, interface=interface, name=path,
+            presentation=pgen, backend=backend)
+    by_name = api.compile_all(
+        text, lang, name=path, presentation=pgen, backend=backend)
+    if not by_name:
+        raise FlickError("%s defines no interfaces" % path)
+    if len(by_name) > 1:
+        raise FlickError(
+            "%s defines several interfaces (%s); the supervisor must"
+            " pin one" % (path, ", ".join(sorted(by_name))))
+    return next(iter(by_name.values()))
+
+
+def open_listen_socket(config):
+    """The worker's share of the listen address.
+
+    Either adopt the parent's listener (``listen_fd``), or bind an own
+    ``SO_REUSEPORT`` socket to the already-resolved address — kernels
+    then shard incoming connections across the workers' accept queues.
+    """
+    if config.listen_fd is not None:
+        return socket.socket(fileno=config.listen_fd)
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((config.host, config.port))
+        sock.listen(128)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def build_server(config, listen_sock, stats):
+    """The configured :class:`AioTcpServer` (serve) or gateway server."""
+    from repro import obs
+
+    if config.kind == "gateway":
+        from repro.gateway import AioGatewayServer, build_plan
+
+        ingress = _compile_one(
+            config.idl_path, config.lang, interface=config.interface,
+            pgen=None, backend=config.backend)
+        egress = _compile_one(
+            config.upstream_idl_path or config.idl_path, config.lang,
+            interface=config.interface, pgen=None,
+            backend=config.upstream_backend)
+        plan = build_plan(ingress, egress, fuse=config.fuse)
+        if config.profile_dir:
+            obs.profile.configure(
+                sample=config.profile_sample, registry=stats.registry)
+        return AioGatewayServer(
+            plan, config.upstream_host, config.upstream_port,
+            pool_size=config.pool_size, host=config.host,
+            port=config.port, stats=stats,
+            max_concurrency=config.max_concurrency,
+            max_pending=config.max_pending,
+            drain_timeout=config.drain_timeout,
+            listen_sock=listen_sock,
+        )
+    from repro.runtime import StubServer
+
+    result = _compile_one(
+        config.idl_path, config.lang, interface=config.interface,
+        pgen=config.pgen, backend=config.backend)
+    stub_module = result.load_module()
+    impl = _load_servant(config.impl, stub_module)
+    if config.profile_dir:
+        obs.profile.configure(
+            sample=config.profile_sample, registry=stats.registry)
+        obs.profile.instrument_stub_module(stub_module)
+    return StubServer(stub_module, impl).aio_server(
+        config.host, config.port,
+        max_concurrency=config.max_concurrency,
+        dispatch_mode=config.dispatch_mode,
+        max_pending=config.max_pending,
+        drain_timeout=config.drain_timeout,
+        stats=stats, listen_sock=listen_sock,
+    )
+
+
+async def _control_loop(reader, writer, server, config, stats, state,
+                        stop):
+    """Answer parent commands until EOF (parent death) or drain."""
+    from repro.obs import profile as obs_profile
+
+    while True:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, OSError):
+            line = b""
+        if not line:
+            stop.set()  # the parent is gone; do not serve headless
+            return
+        try:
+            message = json.loads(line)
+        except ValueError:
+            continue
+        cmd = message.get("cmd")
+        if cmd == "status":
+            reply = {
+                "ok": True,
+                "pid": os.getpid(),
+                "slot": config.slot,
+                "generation": config.generation,
+                "accepting": server.accepting,
+                "in_flight": server.in_flight,
+                "draining": state["draining"],
+            }
+        elif cmd == "metrics":
+            reply = {"ok": True,
+                     "text": stats.registry.render_prometheus()}
+        elif cmd == "profile":
+            profiler = obs_profile.active()
+            reply = {
+                "ok": True,
+                "snapshot": (profiler.snapshot().to_json()
+                             if profiler is not None else None),
+            }
+        elif cmd == "drain":
+            state["draining"] = True
+            await server.drain_async()
+            reply = {"ok": True, "pid": os.getpid()}
+        else:
+            reply = {"ok": False, "error": "unknown command %r" % (cmd,)}
+        if message.get("seq") is not None:
+            reply["seq"] = message["seq"]
+        try:
+            writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            stop.set()
+            return
+        if cmd == "drain":
+            stop.set()
+            return
+
+
+async def amain(config):
+    from repro.obs import profile as obs_profile
+    from repro.runtime import ServerStats
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    stats = ServerStats()
+    listen_sock = open_listen_socket(config)
+    server = build_server(config, listen_sock, stats)
+    state = {"draining": False}
+    await server.start_async()
+    control_sock = socket.socket(fileno=config.control_fd)
+    reader, writer = await asyncio.open_connection(sock=control_sock)
+    control_task = loop.create_task(
+        _control_loop(reader, writer, server, config, stats, state,
+                      stop))
+    print("flick worker slot=%d pid=%d gen=%d serving %s:%d"
+          % (config.slot, os.getpid(), config.generation,
+             config.host, config.port), flush=True)
+    await stop.wait()
+    state["draining"] = True
+    await server.aclose(drain=True)
+    if config.profile_dir:
+        snapshot = obs_profile.shutdown()
+        if snapshot is not None:
+            snapshot.save(os.path.join(
+                config.profile_dir, "profile.%d.json" % os.getpid()))
+    control_task.cancel()
+    try:
+        writer.close()
+    except Exception:
+        pass
+    return 0
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.runtime.supervisor.worker"
+              " CONFIG.json", file=sys.stderr)
+        return 2
+    config = WorkerConfig.load(argv[0])
+    for path in reversed(config.sys_paths):
+        if path and path not in sys.path:
+            sys.path.insert(0, path)
+    try:
+        return asyncio.run(amain(config))
+    except KeyboardInterrupt:
+        return 0
+    except FlickError as error:
+        print("flick worker: error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

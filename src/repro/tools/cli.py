@@ -220,6 +220,15 @@ def build_parser():
         "--duration", type=float, default=None,
         help="serve for this many seconds, then exit (default: forever)",
     )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="supervised multi-process mode: N worker processes share"
+             " the listen address (SO_REUSEPORT accept sharding);"
+             " crashed workers restart with backoff, SIGHUP re-reads"
+             " the IDL and rolls a compatible schema worker-by-worker,"
+             " and --metrics-port serves the aggregated /metrics,"
+             " /profile, /healthz, and /readyz endpoints",
+    )
 
     diff_parser = sub.add_parser(
         "diff",
@@ -385,6 +394,10 @@ def build_parser():
     gateway_parser.add_argument(
         "--duration", type=float, default=None,
         help="serve for this many seconds, then exit (default: forever)",
+    )
+    gateway_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="supervised multi-process mode (see flick serve --workers)",
     )
 
     profile_parser = sub.add_parser(
@@ -758,14 +771,94 @@ def _compile_for_serving(args, text):
     return result
 
 
+def _run_supervised(args, template, *, what, profile):
+    """Run a worker fleet under the supervisor until shutdown."""
+    from repro.runtime.signals import SignalDriver
+    from repro.runtime.supervisor import Supervisor, SupervisorHttpServer
+
+    supervisor = Supervisor(
+        template, args.workers, idl_path=args.input,
+        profile_path=profile,
+    )
+    driver = SignalDriver(on_hup=supervisor.request_rollout).install()
+    endpoint = None
+    try:
+        supervisor.start()
+        print(
+            "supervising %d worker(s) serving %s (%s back end) on"
+            " %s:%d; SIGHUP re-reads %s and rolls a compatible schema"
+            % (args.workers, what or supervisor.interface_name,
+               supervisor.backend_name, supervisor.host,
+               supervisor.port, args.input),
+            flush=True,
+        )
+        if profile:
+            print("profiling payload shapes to %s (merged across"
+                  " workers at shutdown)" % profile, flush=True)
+        if args.metrics_port is not None:
+            from repro import obs  # noqa: F401 (endpoint idiom parity)
+
+            endpoint = SupervisorHttpServer(
+                supervisor, template.host, args.metrics_port
+            ).start()
+            print(
+                "fleet endpoints on http://%s:%d"
+                " (/metrics /profile /healthz /readyz)"
+                % endpoint.address[:2],
+                flush=True,
+            )
+        try:
+            driver.wait(args.duration)
+        except KeyboardInterrupt:
+            pass
+        print("shutting down (draining %d worker(s))" % args.workers,
+              flush=True)
+    finally:
+        if endpoint is not None:
+            endpoint.stop()
+        merged = supervisor.stop()
+        if profile and merged is not None:
+            print("merged profile snapshot saved to %s" % profile,
+                  flush=True)
+        driver.uninstall()
+    return 0
+
+
+def _command_serve_supervised(args):
+    from repro.runtime.supervisor import WorkerConfig
+
+    for flag, name in ((args.trace, "--trace"),
+                       (args.fault_plan, "--fault-plan")):
+        if flag:
+            raise FlickError(
+                "%s is per-process; it is not supported with --workers"
+                % name)
+    with open(args.input) as handle:
+        text = handle.read()
+    result = _compile_for_serving(args, text)  # fail fast, same checks
+    template = WorkerConfig(
+        kind="serve", lang=args.frontend, pgen=args.pgen,
+        backend=args.backend, interface=args.interface, impl=args.impl,
+        host=args.host, port=args.port,
+        max_concurrency=args.max_concurrency,
+        dispatch_mode=args.dispatch_mode, max_pending=args.max_pending,
+        profile_sample=args.profile_sample, sys_paths=[os.getcwd()],
+    )
+    return _run_supervised(
+        args, template, what=result.stubs.interface_name,
+        profile=args.profile,
+    )
+
+
 def command_serve(args):
     """Compile an interface, bind a servant, and serve it over TCP."""
-    import time
-
     from repro import obs
     from repro.runtime import ServerStats, StubServer
     from repro.runtime.aio import ServeOptions
+    from repro.runtime.signals import SignalDriver
 
+    if args.workers is not None:
+        return _command_serve_supervised(args)
     options = ServeOptions(
         host=args.host, port=args.port, aio=args.aio,
         max_concurrency=args.max_concurrency,
@@ -820,6 +913,7 @@ def command_serve(args):
         )
         runtime_name = "blocking thread-per-connection"
     metrics_server = None
+    driver = SignalDriver().install()
     try:
         with server:
             host, port = server.address
@@ -849,15 +943,17 @@ def command_serve(args):
                     flush=True,
                 )
             try:
-                if args.duration is not None:
-                    time.sleep(args.duration)
-                else:
-                    while True:
-                        time.sleep(3600)
+                driver.wait(args.duration)
             except KeyboardInterrupt:
+                driver.request_shutdown()
+            if driver.shutdown_requested:
+                # SIGTERM/SIGINT: bounded graceful drain — finish
+                # in-flight replies, refuse new work, then exit 0.
                 print("shutting down (draining in-flight requests)",
                       flush=True)
+                server.drain(options.drain_timeout)
     finally:
+        driver.uninstall()
         if metrics_server is not None:
             metrics_server.stop()
         if args.profile:
@@ -1029,10 +1125,42 @@ def _fused_prediction_text(predictions):
     return "\n".join(lines)
 
 
+def _command_gateway_supervised(args, ingress_backend, listen_host,
+                                listen_port, egress_backend,
+                                upstream_host, upstream_port,
+                                upstream_path):
+    from repro.runtime.supervisor import WorkerConfig
+
+    for flag, name in ((args.trace, "--trace"),
+                       (args.fault_plan, "--fault-plan"),
+                       (args.upstream_fault_plan,
+                        "--upstream-fault-plan")):
+        if flag:
+            raise FlickError(
+                "%s is per-process; it is not supported with --workers"
+                % name)
+    template = WorkerConfig(
+        kind="gateway", lang=args.lang, backend=ingress_backend,
+        interface=args.interface, host=listen_host, port=listen_port,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending, dispatch_mode="inline",
+        profile_sample=args.profile_sample,
+        upstream_host=upstream_host, upstream_port=upstream_port,
+        upstream_backend=egress_backend,
+        upstream_idl_path=(
+            upstream_path if upstream_path != args.input else None),
+        pool_size=args.pool_size, fuse=not args.no_fuse,
+        sys_paths=[os.getcwd()],
+    )
+    return _run_supervised(
+        args, template,
+        what="%s->%s gateway" % (ingress_backend, egress_backend),
+        profile=args.profile,
+    )
+
+
 def command_gateway(args):
     """Serve a bridge: ingress protocol in, egress protocol out."""
-    import time
-
     from repro import obs
     from repro.gateway import (
         AioGatewayServer,
@@ -1042,6 +1170,7 @@ def command_gateway(args):
         check_bridge,
     )
     from repro.runtime import ServerStats
+    from repro.runtime.signals import SignalDriver
 
     ingress_backend, listen_host, listen_port = _parse_endpoint(
         args.listen, "--listen")
@@ -1068,6 +1197,10 @@ def command_gateway(args):
             )
             return 2
         print("bridge check: %s" % diff.verdict.name, flush=True)
+    if args.workers is not None:
+        return _command_gateway_supervised(
+            args, ingress_backend, listen_host, listen_port,
+            egress_backend, upstream_host, upstream_port, upstream_path)
     plan = build_plan(ingress, egress, fuse=not args.no_fuse)
     want_stats = args.stats or args.metrics_port is not None
     stats = ServerStats() if want_stats else None
@@ -1095,6 +1228,7 @@ def command_gateway(args):
         max_pending=args.max_pending, fault_plan=fault_plan,
     )
     metrics_server = None
+    driver = SignalDriver().install()
     try:
         with server:
             host, port = server.address
@@ -1118,15 +1252,15 @@ def command_gateway(args):
                     flush=True,
                 )
             try:
-                if args.duration is not None:
-                    time.sleep(args.duration)
-                else:
-                    while True:
-                        time.sleep(3600)
+                driver.wait(args.duration)
             except KeyboardInterrupt:
+                driver.request_shutdown()
+            if driver.shutdown_requested:
                 print("shutting down (draining in-flight requests)",
                       flush=True)
+                server.drain()
     finally:
+        driver.uninstall()
         if metrics_server is not None:
             metrics_server.stop()
         if args.profile:
