@@ -52,7 +52,7 @@ def main():
     result = Flick(frontend="corba", backend="iiop").compile(
         BANK_IDL, interface="Bank::AuditedAccount"
     )
-    module = result.load_module()
+    module = result.module
     print("operations:", [s.operation_name for s in result.presc.stubs])
 
     class Bank(module.Bank_AuditedAccountServant):

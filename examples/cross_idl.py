@@ -75,7 +75,7 @@ def main():
     # CORBA IDL through all four back ends.
     for backend in ("iiop", "oncrpc-xdr", "mach3", "fluke"):
         result = Flick(frontend="corba", backend=backend).compile(CORBA_IDL)
-        module = result.load_module()
+        module = result.module
         run_service(
             module,
             module.Tele_CollectorClient,
@@ -87,7 +87,7 @@ def main():
     # ONC RPC IDL through its natural and foreign back ends.
     for backend in ("oncrpc-xdr", "fluke"):
         result = Flick(frontend="oncrpc", backend=backend).compile(ONC_IDL)
-        module = result.load_module()
+        module = result.module
         run_service(
             module,
             module.TELE_COLLECTORClient,
@@ -100,7 +100,7 @@ def main():
     # differs (names, records), the network contract does not.
     corba = Flick(frontend="corba", backend="oncrpc-xdr").compile(CORBA_IDL)
     onc = Flick(frontend="oncrpc").compile(ONC_IDL)
-    corba_module, onc_module = corba.load_module(), onc.load_module()
+    corba_module, onc_module = corba.module, onc.module
     corba_buffer, onc_buffer = MarshalBuffer(), MarshalBuffer()
     corba_module._m_req_push(
         corba_buffer, 7, [corba_module.Tele_Sample(3, 1.5)]

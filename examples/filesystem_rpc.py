@@ -113,7 +113,7 @@ def entries_to_list(head):
 
 def main():
     result = Flick(frontend="oncrpc").compile(FS_IDL)
-    module = result.load_module()
+    module = result.module
     print("compiled %s -> %s stubs"
           % (result.interface.name, result.stubs.backend_name))
 

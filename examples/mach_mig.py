@@ -81,7 +81,7 @@ def main():
     except BackEndError as error:
         print("\nMIG-style compilation refuses:", error)
 
-    rich_module = rich.load_module()
+    rich_module = rich.module
 
     class RichImpl(rich_module.RICHNAME_RVServant):
         def register_full(self, registration):

@@ -49,7 +49,7 @@ def main():
     idl = open(os.path.join(
         os.path.dirname(os.path.abspath(__file__)),
         "idl", "mail_v2.idl")).read()
-    module = Flick(frontend="corba").compile(idl).load_module()
+    module = Flick(frontend="corba").compile(idl).module
     with StubServer(module, MailServant()).tcp_server() as server:
         client = module.MailClient(
             TcpClientTransport(*server.address))

@@ -56,8 +56,8 @@ def main():
         print("  %-12s %s" % (style, c_contract(result)))
 
     # Identical wire bytes from the standard and length presentations.
-    standard = presentations["corba-c"].load_module()
-    with_length = presentations["corba-c-len"].load_module()
+    standard = presentations["corba-c"].module
+    with_length = presentations["corba-c-len"].module
     text = "The quick brown fox jumps over the lazy dog." * 8000
     encoded = text.encode("latin-1")
     buffer_a, buffer_b = MarshalBuffer(), MarshalBuffer()

@@ -41,7 +41,7 @@ def main():
     print()
 
     # Load the executable Python stubs and implement the servant.
-    module = result.load_module()
+    module = result.module
 
     class MailBox(module.MailServant):
         def __init__(self):

@@ -74,14 +74,14 @@ def drive(client, module):
 
 
 def bridge_demo(ingress, egress, label):
-    egress_module = egress.load_module()
+    egress_module = egress.module
     upstream = StubServer(egress_module, SensorImpl()).tcp_server()
     with upstream:
         plan = build_plan(ingress, egress)
         gateway = AioGatewayServer(plan, upstream.address[0],
                                    upstream.address[1])
         with gateway:
-            ingress_module = ingress.load_module()
+            ingress_module = ingress.module
             transport = TcpClientTransport(*gateway.address)
             try:
                 client = ingress_module.Demo_SensorClient(transport)

@@ -1,0 +1,224 @@
+"""CI smoke for tiered execution: `flick serve --workers 2 --tiering`.
+
+Boots a 2-worker supervised fleet on a tiny ONC program whose `rev`
+operation (an all-integer sequence) structurally favours the closures
+renderer while the server starts every op on py tier-0.  A hot loop of
+`rev` calls must drive `flick_tier_current{op="rev"}` to 1 on at least
+one worker (with `flick_tier_recompiles_total{outcome="promoted"}`
+counted), while the never-called `hello` op stays tier-0 on every
+worker.  Asserted via the supervisor's aggregated /metrics endpoint.
+Run from the repository root::
+
+    python scripts/tiering_smoke.py
+"""
+
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+WORKERS = 2
+
+sys.path.insert(0, SRC)
+
+from repro import Flick  # noqa: E402
+from repro.obs.metrics import parse_prometheus  # noqa: E402
+from repro.runtime import TcpClientTransport  # noqa: E402
+
+SMOKE_IDL = """
+typedef int int_seq<>;
+program SMOKE {
+  version SMOKEV {
+    int_seq rev(int_seq) = 1;
+    string hello(string) = 2;
+  } = 1;
+} = 0x20000077;
+"""
+
+SERVANT = '''
+"""Servant for the tiering smoke (written into the smoke workdir)."""
+
+
+class SmokeServant:
+    def __init__(self, module=None):
+        self.module = module
+
+    def rev(self, xs):
+        return list(xs)[::-1]
+
+    def hello(self, s):
+        return "hi " + s
+'''
+
+POLICY = {
+    "threshold": 20000,
+    "interval_s": 0.05,
+    "min_timed_samples": 4,
+    # The smoke proves the promotion mechanics, not steady-state
+    # speed; an effectively-off revert ratio keeps CI timer noise
+    # from reverting the op between the swap and the assertion.
+    "revert_ratio": 1e9,
+}
+
+
+def fail(message):
+    print("FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for(lines, pattern, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for line in list(lines):
+            match = re.search(pattern, line)
+            if match:
+                return match.group(1)
+        time.sleep(0.05)
+    fail("timed out waiting for %r in:\n%s" % (pattern, "".join(lines)))
+
+
+def scrape(port, path, timeout=5.0):
+    url = "http://127.0.0.1:%d%s" % (port, path)
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def tier_series(series, op):
+    """(labels, value) pairs of flick_tier_current for one op."""
+    return {labels: value
+            for labels, value in series.get("flick_tier_current",
+                                            {}).items()
+            if dict(labels).get("op") == op}
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="flick-tiering-smoke-")
+    idl_path = os.path.join(workdir, "smoke.x")
+    policy_path = os.path.join(workdir, "policy.json")
+    with open(idl_path, "w") as handle:
+        handle.write(SMOKE_IDL)
+    with open(os.path.join(workdir, "smoke_servant.py"), "w") as handle:
+        handle.write(SERVANT)
+    with open(policy_path, "w") as handle:
+        json.dump(POLICY, handle)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC, workdir]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.cli", "serve", idl_path,
+         "--impl", "smoke_servant:SmokeServant", "--workers",
+         str(WORKERS), "--port", "0", "--metrics-port", "0",
+         "--tiering", policy_path],
+        env=env, cwd=workdir, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    lines = []
+
+    def pump():
+        for line in proc.stdout:
+            sys.stdout.write(line)
+            lines.append(line)
+
+    threading.Thread(target=pump, daemon=True).start()
+
+    try:
+        serve_port = int(wait_for(
+            lines, r"supervising \d+ worker\(s\).* on 127\.0\.0\.1:(\d+)"))
+        http_port = int(wait_for(
+            lines, r"fleet endpoints on http://127\.0\.0\.1:(\d+)"))
+        deadline = time.monotonic() + 60
+        while scrape(http_port, "/readyz")[0] != 200:
+            if time.monotonic() > deadline:
+                fail("/readyz never reached 200")
+            time.sleep(0.2)
+
+        module = Flick(frontend="oncrpc").compile(SMOKE_IDL).module
+        payload = list(range(256))  # ~1 KB per call
+
+        # Hot-loop rev over a couple of connections (SO_REUSEPORT
+        # shards per connection) until some worker's engine promotes:
+        # keep bursts coming so the shadow round can verify and commit.
+        promoted = None
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline and promoted is None:
+            for _ in range(2):
+                transport = TcpClientTransport("127.0.0.1", serve_port)
+                client = module.SMOKE_SMOKEVClient(transport)
+                for _ in range(60):
+                    if client.rev(payload) != payload[::-1]:
+                        fail("rev returned wrong payload")
+                transport.close()
+            _status, text = scrape(http_port, "/metrics")
+            series = parse_prometheus(text)
+            hot = tier_series(series, "rev")
+            if any(value >= 1 for value in hot.values()):
+                promoted = series
+        if promoted is None:
+            fail("rev never reached tier-1; last tier series: %r"
+                 % tier_series(series, "rev"))
+        hot = tier_series(promoted, "rev")
+        hot_workers = [dict(labels)["worker"]
+                       for labels, value in hot.items() if value >= 1]
+        print("== rev reached tier-1 on worker(s) %s"
+              % ", ".join(sorted(hot_workers)))
+
+        counted = promoted.get("flick_tier_recompiles_total", {})
+        promoted_count = sum(
+            value for labels, value in counted.items()
+            if dict(labels).get("op") == "rev"
+            and dict(labels).get("outcome") == "promoted")
+        if promoted_count < 1:
+            fail("no promoted recompile counted: %r" % counted)
+        reverted = sum(
+            value for labels, value in counted.items()
+            if dict(labels).get("outcome") == "reverted_bytes")
+        if reverted:
+            fail("a tier swap failed byte verification: %r" % counted)
+
+        # The cold op must not have tiered anywhere.
+        cold = tier_series(promoted, "hello")
+        if any(value != 0 for value in cold.values()):
+            fail("cold op 'hello' left tier-0: %r" % cold)
+        print("== cold op 'hello' stayed tier-0 on %d worker series"
+              % len(cold))
+
+        # Post-swap sanity: replies still correct through the hot op.
+        transport = TcpClientTransport("127.0.0.1", serve_port)
+        client = module.SMOKE_SMOKEVClient(transport)
+        for _ in range(20):
+            if client.rev(payload) != payload[::-1]:
+                fail("rev wrong after the tier swap")
+        if client.hello("smoke") != "hi smoke":
+            fail("hello wrong after the tier swap")
+        transport.close()
+        print("== post-swap replies correct")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        if code != 0:
+            fail("supervisor exited with code %d" % code)
+        print("PASS: tiering smoke (rev tier-1 with promoted>=1, "
+              "hello tier-0, 0 byte reverts, exit 0)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -111,7 +111,7 @@ def parse(text, lang=None, name="<idl>"):
 def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
             presentation=None, backend=None, renderer="py",
             **backend_options):
-    """Compile IDL *text* end to end; returns a CompileResult.
+    """Compile IDL *text* end to end; returns a CompiledInterface.
 
     ``lang`` may be omitted (auto-detected from ``name``'s extension or
     the text itself).  ``interface`` selects one interface when the file
@@ -119,7 +119,14 @@ def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
     the language defaults, exactly as :class:`repro.core.Flick` does.
     ``renderer`` selects how the optimized marshal IR becomes codecs:
     ``"py"`` (rendered Python source, the default) or ``"closures"``
-    (closure codecs compiled straight from the IR at load time).
+    (closure codecs compiled straight from the IR at load time) — or a
+    :class:`repro.core.options.RendererPolicy` carrying the renderer,
+    disabled passes, and backend options in one value.
+
+    The returned :class:`repro.core.handle.CompiledInterface` is a
+    :class:`repro.core.compiler.CompileResult` subclass: everything the
+    old facade returned is still there, plus the handle surface
+    (``.module``, ``.codec_table``, ``.recompile(op, renderer=...)``).
     """
     from repro.core.compiler import Flick
 
@@ -159,11 +166,12 @@ def compile_all(text, lang=None, *, flags=None, name="<idl>",
 def _compile_mig(text, *, name, interface, flags, backend, renderer="py",
                  **backend_options):
     from repro.backend import make_backend
-    from repro.core.compiler import CompileResult
-    from repro.core.options import OptFlags
+    from repro.core.handle import CompiledInterface
+    from repro.core.options import OptFlags, RendererPolicy
     from repro.mig.parser import parse_mig_idl
     from repro.mig.to_presc import mig_to_presc
 
+    policy = RendererPolicy.coerce(renderer, **backend_options)
     timings = {}
     total_started = perf_counter()
     phase_started = total_started
@@ -179,13 +187,14 @@ def _compile_mig(text, *, name, interface, flags, backend, renderer="py",
         )
     phase_started = perf_counter()
     backend_instance = make_backend(
-        backend or _MIG_DEFAULT_BACKEND, **backend_options
+        backend or _MIG_DEFAULT_BACKEND, **policy.options()
     )
-    stubs = backend_instance.generate(presc, flags or OptFlags(),
-                                      renderer=renderer)
+    stubs = backend_instance.generate(
+        presc, policy.resolve_flags(flags or OptFlags()),
+        renderer=policy.renderer)
     timings["emit_s"] = perf_counter() - phase_started
     timings["total_s"] = perf_counter() - total_started
-    return CompileResult(
+    return CompiledInterface(
         aoi=None, interface=None, presc=presc, stubs=stubs,
         timings=timings, frontend="mig",
     )

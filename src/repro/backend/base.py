@@ -78,6 +78,12 @@ class GeneratedStubs:
     #: carries; it is evaluated lazily (and only once) so uninstrumented
     #: compiles pay nothing.
     shapes_factory: object = field(default=None, repr=False)
+    #: The back-end instance that generated these stubs and the flags it
+    #: ran with — what :meth:`repro.core.handle.CompiledInterface
+    #: .recompile` needs to rebuild codecs for one op under a different
+    #: renderer or pass configuration.
+    backend_instance: object = field(default=None, repr=False)
+    flags: object = field(default=None, repr=False)
 
     _module = None
 
@@ -202,8 +208,16 @@ class OptimizingBackEnd:
         executable codecs: ``"py"`` renders Python source (the default),
         ``"closures"`` additionally compiles the IR straight to
         closure-based codecs installed over the module at load time, and
-        ``"c"`` is implied — the C artifact is always produced.
+        ``"c"`` is implied — the C artifact is always produced.  A
+        :class:`repro.core.options.RendererPolicy` is accepted in place
+        of the name; its ``disable_passes`` fold into *flags*.
         """
+        if not isinstance(renderer, str):
+            from repro.core.options import RendererPolicy
+
+            policy = RendererPolicy.coerce(renderer)
+            flags = policy.resolve_flags(flags)
+            renderer = policy.renderer
         flags = flags or OptFlags()
         if renderer not in RENDERERS:
             raise BackEndError(
@@ -274,6 +288,8 @@ class OptimizingBackEnd:
             renderer=renderer,
             mir=program,
             shapes_factory=self._shapes_factory(presc, flags),
+            backend_instance=self,
+            flags=flags,
         )
 
     def _shapes_factory(self, presc, flags):

@@ -15,7 +15,7 @@ from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.errors import FlickError
-from repro.core.options import OptFlags
+from repro.core.options import OptFlags, RendererPolicy
 from repro.obs import trace
 
 #: Front-end registry: name -> callable(text, name) -> AoiRoot.
@@ -123,9 +123,12 @@ class Flick:
         self.frontend = frontend
         self.presentation = presentation or DEFAULT_PRESENTATION[frontend]
         self.backend = backend or DEFAULT_BACKEND[self.presentation]
-        self.flags = flags or OptFlags()
-        self.renderer = renderer
-        self.backend_options = backend_options
+        # renderer accepts a name or a RendererPolicy; explicit
+        # backend_options merge over the policy's own.
+        self.policy = RendererPolicy.coerce(renderer, **backend_options)
+        self.flags = self.policy.resolve_flags(flags or OptFlags())
+        self.renderer = self.policy.renderer
+        self.backend_options = self.policy.options()
 
     # ------------------------------------------------------------------
 
@@ -142,7 +145,8 @@ class Flick:
         return generator.generate(aoi_root, interface, side=side)
 
     def compile(self, idl_text, interface=None, name="<idl>"):
-        """Full pipeline; returns a :class:`CompileResult`.
+        """Full pipeline; returns a :class:`repro.core.handle
+        .CompiledInterface` (a :class:`CompileResult` subclass).
 
         The result's ``timings`` dict always carries per-phase wall-clock
         seconds (parse, aoi, present, emit, total) — the cost of a few
@@ -181,7 +185,9 @@ class Flick:
                                      renderer=self.renderer)
         timings["emit_s"] = perf_counter() - phase_started
         timings["total_s"] = perf_counter() - total_started
-        return CompileResult(
+        from repro.core.handle import CompiledInterface
+
+        return CompiledInterface(
             aoi=aoi_root, interface=picked, presc=presc, stubs=stubs,
             timings=timings, frontend=self.frontend,
         )

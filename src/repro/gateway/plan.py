@@ -273,6 +273,37 @@ class BridgePlan:
         return sorted(p.name for p in self.ops.values()
                       if 0 in p.reply_segments)
 
+    def rebind(self, op=None):
+        """Refresh early-bound codec references from the live modules.
+
+        The proxy binds each operation's codecs once at plan-build time
+        so serving never pays per-request attribute loads — which means
+        a runtime tier swap (the tiering engine replacing module
+        entries) would otherwise be invisible here.  Tiering engines
+        call this from their swap callback; *op* limits the refresh to
+        one operation (None refreshes every plan).
+        """
+        for plan in self.ops.values():
+            if op is not None and plan.name != op:
+                continue
+            name = plan.name
+            plan.u_req = getattr(
+                self.ingress_module, "_u_req_%s" % name, plan.u_req)
+            plan.m_req = getattr(
+                self.egress_module, "_m_req_%s" % name, plan.m_req)
+            if plan.oneway:
+                continue
+            plan.u_rep = getattr(
+                self.egress_module, "_u_rep_%s" % name, plan.u_rep)
+            plan.m_rep_ok = getattr(
+                self.ingress_module, "_m_rep_ok_%s" % name,
+                plan.m_rep_ok)
+            plan.exceptions = {
+                key: getattr(self.ingress_module,
+                             getattr(encoder, "__name__", ""), encoder)
+                for key, encoder in plan.exceptions.items()
+            }
+
     def summary(self):
         """One line per operation for logs and the CLI."""
         lines = []

@@ -187,6 +187,16 @@ class AioGatewayServer(AioTcpServer):
                           operation_names(plan.ingress_module))
         super().__init__(None, None, **kwargs)
         self.plan = plan
+        for engine in self.tiering:
+            # OpPlan holds early-bound codec refs; a tier transition
+            # replaces the module entries underneath, so every shadow
+            # install, commit, and revert must refresh the plan's
+            # bindings.  Attach now (idempotent) so the rebind below
+            # also picks up the hotness-counting wrappers.
+            engine.attach()
+            engine.subscribe(lambda op, _names: plan.rebind(op))
+        if self.tiering:
+            plan.rebind()
         self._pool = ConnectionPool(
             upstream_host, upstream_port, pool_size=pool_size,
             options=options, breaker=breaker, stats=client_stats,

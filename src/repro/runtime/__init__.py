@@ -34,6 +34,8 @@ from repro.runtime.aio import (
     ServeOptions,
     ServerStats,
 )
+from repro.runtime.tiering import TieringEngine, TierPolicy, \
+    resolve_policy
 
 __all__ = [
     "AioClientTransport",
@@ -59,7 +61,10 @@ __all__ = [
     "StubServer",
     "TcpClientTransport",
     "TcpServer",
+    "TierPolicy",
+    "TieringEngine",
     "Transport",
     "UdpClientTransport",
     "UdpServer",
+    "resolve_policy",
 ]

@@ -103,13 +103,18 @@ class AioTcpServer:
             instead of binding *host*/*port* — how supervised workers
             share one address (their own ``SO_REUSEPORT`` socket, or a
             listener inherited from the parent process).
+        tiering: a :class:`~repro.runtime.tiering.TieringEngine` (or an
+            iterable of them — the gateway runs one per side) whose
+            background poll thread is started and stopped with the
+            server's own lifecycle.
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
                  max_concurrency=64, dispatch_mode="thread", stats=None,
                  op_names=None, drain_timeout=5.0,
                  max_record_size=MAX_RECORD_SIZE, error_encoder=None,
-                 max_pending=None, fault_plan=None, listen_sock=None):
+                 max_pending=None, fault_plan=None, listen_sock=None,
+                 tiering=None):
         if dispatch_mode not in ("thread", "inline"):
             raise ValueError(
                 "dispatch_mode must be 'thread' or 'inline', not %r"
@@ -129,6 +134,12 @@ class AioTcpServer:
         self.max_pending = max_pending
         self.fault_plan = fault_plan
         self.listen_sock = listen_sock
+        if tiering is None:
+            self.tiering = ()
+        elif hasattr(tiering, "poll_once"):
+            self.tiering = (tiering,)
+        else:
+            self.tiering = tuple(tiering)
         self._injector = None
         self._pending_waiters = 0
         self.address = None
@@ -171,6 +182,8 @@ class AioTcpServer:
                 self._handle_connection, self._host, self._port
             )
         self.address = self._server.sockets[0].getsockname()
+        for engine in self.tiering:
+            engine.start()
         return self
 
     @property
@@ -214,6 +227,8 @@ class AioTcpServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+        for engine in self.tiering:
+            engine.stop()
         self._server = None
 
     async def __aenter__(self):

@@ -182,12 +182,15 @@ class TcpServer:
     malformed requests and servant crashes into protocol error replies;
     without it both drop the connection (the historical behaviour).
     *fault_plan* (a :class:`repro.faults.FaultPlan`) injects faults into
-    inbound requests for chaos testing.
+    inbound requests for chaos testing.  *tiering* (a
+    :class:`~repro.runtime.tiering.TieringEngine`, or an iterable of
+    them) is started and stopped with the server.
     """
 
     def __init__(self, dispatch, impl, host="127.0.0.1", port=0, *,
                  stats=None, op_names=None, error_encoder=None,
-                 fault_plan=None, max_record_size=MAX_RECORD_SIZE):
+                 fault_plan=None, max_record_size=MAX_RECORD_SIZE,
+                 tiering=None):
         self._dispatch = dispatch
         self._impl = impl
         self.stats = stats
@@ -195,6 +198,12 @@ class TcpServer:
         self._error_encoder = error_encoder
         self._fault_plan = fault_plan
         self._max_record_size = max_record_size
+        if tiering is None:
+            self.tiering = ()
+        elif hasattr(tiering, "poll_once"):
+            self.tiering = (tiering,)
+        else:
+            self.tiering = tuple(tiering)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -210,6 +219,8 @@ class TcpServer:
 
     def start(self):
         self._running = True
+        for engine in self.tiering:
+            engine.start()
         self._thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._thread.start()
         return self
@@ -425,6 +436,8 @@ class TcpServer:
             worker.join(timeout=timeout)
         with self._lock:
             self._workers = []
+        for engine in self.tiering:
+            engine.stop()
 
     def __enter__(self):
         return self.start()
