@@ -1,13 +1,13 @@
 #!/usr/bin/env python
-"""Flexibility demo: one service, two IDLs, four transports.
+"""Flexibility demo: one service, three schema languages, four transports.
 
 The paper's central flexibility claim: Flick "supports multiple IDLs,
 diverse data encodings, multiple transport mechanisms" by composing
 independent front ends, presentation generators, and back ends.  This
-example defines the *same* telemetry contract in CORBA IDL and in ONC RPC
-IDL, compiles every combination, shows that the two IDLs produce
-byte-identical XDR messages, and runs the service over all four message
-formats.
+example defines the *same* telemetry contract in CORBA IDL, in ONC RPC
+IDL, and as annotated Python dataclasses (the pyschema front end),
+compiles every combination, shows that all three produce byte-identical
+XDR messages, and runs the service over all four message formats.
 """
 
 from repro import Flick
@@ -35,6 +35,24 @@ program TELE {
   } = 1;
 } = 0x20000200;
 """
+
+PY_SCHEMA = '''
+from dataclasses import dataclass
+
+from repro.pyschema import f64, i32, interface
+
+
+@dataclass
+class Sample:
+    sensor: i32
+    value: f64
+
+
+@interface
+class Collector:
+    def push(self, batch: list[Sample]) -> i32: ...
+    def mean(self, sensor: i32) -> f64: ...
+'''
 
 
 def servant_for(module, servant_base):
@@ -96,20 +114,39 @@ def main():
             "ONC IDL   -> %s" % backend,
         )
 
-    # The wire bytes are identical across source IDLs: the presentation
-    # differs (names, records), the network contract does not.
+    # No IDL file at all: the same contract as annotated dataclasses.
+    for backend in ("oncrpc-xdr", "iiop"):
+        result = Flick(frontend="pyschema", backend=backend).compile(
+            PY_SCHEMA)
+        module = result.module
+        run_service(
+            module,
+            module.CollectorClient,
+            module.CollectorServant,
+            module.Sample,
+            "dataclasses -> %s" % backend,
+        )
+
+    # The wire bytes are identical across schema languages: the
+    # presentation differs (names, records), the network contract does
+    # not.
     corba = Flick(frontend="corba", backend="oncrpc-xdr").compile(CORBA_IDL)
     onc = Flick(frontend="oncrpc").compile(ONC_IDL)
-    corba_module, onc_module = corba.module, onc.module
-    corba_buffer, onc_buffer = MarshalBuffer(), MarshalBuffer()
+    pys = Flick(frontend="pyschema", backend="oncrpc-xdr").compile(PY_SCHEMA)
+    corba_module, onc_module, pys_module = corba.module, onc.module, pys.module
+    corba_buffer, onc_buffer, pys_buffer = (
+        MarshalBuffer(), MarshalBuffer(), MarshalBuffer())
     corba_module._m_req_push(
         corba_buffer, 7, [corba_module.Tele_Sample(3, 1.5)]
     )
     onc_module._m_req_push(onc_buffer, 7, [onc_module.sample(3, 1.5)])
+    pys_module._m_req_push(pys_buffer, 7, [pys_module.Sample(3, 1.5)])
     corba_body = corba_buffer.getvalue()[40:]
     onc_body = onc_buffer.getvalue()[40:]
-    assert corba_body == onc_body
-    print("\nXDR request bodies from the two IDLs are byte-identical:")
+    pys_body = pys_buffer.getvalue()[40:]
+    assert corba_body == onc_body == pys_body
+    print("\nXDR request bodies from all three schema languages are"
+          " byte-identical:")
     print("  ", corba_body.hex())
     print("\ncross-IDL flexibility OK")
 

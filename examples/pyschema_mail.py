@@ -1,0 +1,70 @@
+"""The Mail interface as a native-Python schema.
+
+This is the dataclass twin of ``examples/idl/mail.idl``: same
+repository id, same operation request codes, same bounded payloads —
+``flick diff examples/idl/mail.idl examples/pyschema_mail.py --json``
+reports WIRE_IDENTICAL on every protocol (exit code 0), so the IDL
+file can be replaced by this module without a protocol break.
+
+Compile it three ways::
+
+    flick compile examples/pyschema_mail.py -o build/
+    api.compile(open("examples/pyschema_mail.py").read())
+    import examples.pyschema_mail; api.compile(examples.pyschema_mail)
+"""
+
+from typing import Annotated
+
+from repro.pyschema import Len, i32, interface
+
+
+@interface
+class Mail:
+    def send(self, msg: Annotated[str, Len(1024)], urgency: i32) -> None: ...
+
+    def check(self, user: Annotated[str, Len(64)]) -> i32: ...
+
+    def fetch(self, slot: i32) -> Annotated[str, Len(1024)]: ...
+
+
+def main():
+    import os
+
+    from repro import api
+    from repro.runtime import LoopbackTransport
+
+    result = api.compile(Mail)
+    print("compiled %s (%s) from a dataclass schema, no IDL file"
+          % (result.interface.name, result.interface.code))
+
+    class Impl:
+        def send(self, msg, urgency):
+            print("  servant got: %r (urgency %d)" % (msg, urgency))
+
+        def check(self, user):
+            return 2 if user == "alice" else 0
+
+        def fetch(self, slot):
+            return "message #%d" % slot
+
+    module = result.module
+    client = module.MailClient(LoopbackTransport(module.dispatch, Impl()))
+    client.send("hello from a dataclass", 1)
+    assert client.check("alice") == 2
+    assert client.fetch(7) == "message #7"
+
+    idl_path = os.path.join(os.path.dirname(__file__), "idl", "mail.idl")
+    from repro.compat import diff_texts
+
+    diffs = diff_texts(open(idl_path).read(),
+                       open(__file__).read(),
+                       old_name="mail.idl", new_name="pyschema_mail.py")
+    for protocol, diff in sorted(diffs.items()):
+        print("  flick diff vs mail.idl [%s]: %s"
+              % (protocol, diff.verdict.value))
+        assert diff.verdict.name == "WIRE_IDENTICAL"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

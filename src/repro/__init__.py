@@ -2,10 +2,12 @@
 
 Flick (Eide, Frei, Ford, Lepreau, Lindstrom; University of Utah) treats
 interface definition languages as true programming languages: multiple
-front ends (CORBA IDL, ONC RPC, MIG) lower to carefully chosen intermediate
-representations (AOI, MINT, CAST, PRES/PRES_C), and optimizing back ends
-(IIOP/CDR, ONC/XDR, Mach 3 typed messages, Fluke IPC) generate stubs that
-marshal data several times faster than traditional IDL compilers.
+front ends (CORBA IDL, ONC RPC, MIG, annotated Python dataclasses) lower
+to carefully chosen intermediate representations (AOI, MINT, CAST,
+PRES/PRES_C), and optimizing back ends (IIOP/CDR, ONC/XDR, Mach 3 typed
+messages, Fluke IPC) generate stubs that marshal data several times
+faster than traditional IDL compilers.  Front ends self-register with
+:mod:`repro.frontends`; :mod:`repro.pyschema` is the dataclass one.
 
 Quick start::
 
@@ -33,7 +35,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
 of the paper's tables and figures.
 """
 
-from repro.api import compile, compile_all, detect_lang
+from repro.api import compile, compile_all, detect_lang, langs
 from repro.core import CompileResult, Flick, OptFlags
 from repro.errors import (
     AoiValidationError,
@@ -67,6 +69,7 @@ __all__ = [
     "FlickUserException",
     "IdlSemanticError",
     "IdlSyntaxError",
+    "langs",
     "MarshalError",
     "OptFlags",
     "PresentationError",

@@ -6,14 +6,18 @@ One entry point for every IDL language Flick understands::
 
     result = api.compile(open("mail.idl").read())          # auto-detect
     result = api.compile(text, "oncrpc", backend="oncrpc-xdr")
+    result = api.compile(SomeDataclass)                    # pyschema
     module = result.load_module()
 
 Language selection is explicit (``lang=``), by file extension (pass the
-file name via ``name=``), or by content heuristics — MIG's ``subsystem``
-declarations, ONC RPC's ``program``/``version`` blocks, CORBA's
-``interface``/``module`` keywords.  The historical per-frontend entry
-points (``compile_corba_idl``, ``compile_oncrpc_idl``,
-``compile_mig_idl``) remain as thin deprecated shims over this module.
+file name via ``name=``), or by content heuristics; all three are
+answered by the self-registering front-end registry
+(:mod:`repro.frontends`), so the facade itself enumerates no languages.
+Non-text schema inputs — a dataclass, an ``@interface`` class, or a
+module object — route to whichever front end claims them (the pyschema
+front end, today).  The historical per-frontend entry points
+(``compile_corba_idl``, ``compile_oncrpc_idl``, ``compile_mig_idl``)
+remain as thin deprecated shims over this module.
 
 MIG is the paper's conjoined front end: it produces PRES_C directly, so
 MIG results carry ``aoi=None`` — everything downstream of the
@@ -23,89 +27,51 @@ identically across languages.
 
 from __future__ import annotations
 
-import re
-from time import perf_counter
-from typing import Dict, Optional
-
+from repro import frontends
 from repro.errors import FlickError
 
-#: Recognized languages, in detection order.
-LANGS = ("mig", "oncrpc", "corba")
 
-#: File-extension hints (checked on the ``name=`` argument).
-SUFFIX_LANGS = {
-    ".idl": "corba",
-    ".x": "oncrpc",
-    ".defs": "mig",
-}
-
-#: The back end each conjoined/AOI-less language targets by default.
-_MIG_DEFAULT_BACKEND = "mach3"
-
-_MIG_PATTERN = re.compile(
-    r"^\s*subsystem\s+\w+", re.MULTILINE,
-)
-_ONCRPC_PATTERN = re.compile(
-    r"\b(?:program|version)\s+\w+\s*\{",
-)
-_CORBA_PATTERN = re.compile(
-    r"\b(?:interface|module)\s+\w+",
-)
+def langs():
+    """Registered language names, in content-detection order."""
+    return frontends.names()
 
 
 def detect_lang(text, name=None):
     """Detect the IDL language of *text*: extension first, then content.
 
-    Raises :class:`FlickError` when nothing matches — callers should
-    then ask for an explicit ``lang=``.
+    Non-text schema objects (dataclasses, modules) are attributed to the
+    front end that accepts them.  Raises :class:`FlickError` when nothing
+    matches — the message names, per language, the trigger patterns that
+    were tried (and the filename, when one was given).
     """
-    if name:
-        for suffix, lang in SUFFIX_LANGS.items():
-            if str(name).endswith(suffix):
-                return lang
-    source = _strip_comments(text)
-    if _MIG_PATTERN.search(source):
-        return "mig"
-    if _ONCRPC_PATTERN.search(source):
-        return "oncrpc"
-    if _CORBA_PATTERN.search(source):
-        return "corba"
-    raise FlickError(
-        "cannot detect the IDL language (no subsystem/program/interface "
-        "declaration found); pass lang= one of %s" % (", ".join(LANGS))
-    )
+    if not isinstance(text, str):
+        return frontends.for_object(text).name
+    return frontends.detect(text, name).name
 
 
-def _strip_comments(text):
-    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
-    return re.sub(r"//[^\n]*", " ", text)
-
-
-def _check_lang(lang):
-    if lang not in LANGS:
-        raise FlickError(
-            "unknown IDL language %r (have: %s)" % (lang, ", ".join(LANGS))
-        )
-    return lang
+def _resolve(source, lang, name):
+    """The :class:`repro.frontends.FrontEnd` for *source*."""
+    if lang is not None:
+        return frontends.get(lang)
+    if not isinstance(source, str):
+        return frontends.for_object(source)
+    return frontends.detect(source, name)
 
 
 def parse(text, lang=None, name="<idl>"):
     """Front end only: return the validated AoiRoot for *text*.
 
-    MIG has no AOI (the front end is conjoined with its presentation);
-    parsing MIG through this function raises :class:`FlickError`.
+    Conjoined front ends (MIG) have no AOI; parsing them through this
+    function raises :class:`FlickError`.
     """
-    from repro.core.compiler import FRONTENDS, _register_frontends
-
-    lang = _check_lang(lang or detect_lang(text, name))
-    if lang == "mig":
+    fe = _resolve(text, lang, name)
+    if not fe.has_aoi:
         raise FlickError(
-            "MIG bypasses AOI (conjoined front end); use "
-            "api.compile(text, 'mig') for the full pipeline"
+            "%s bypasses AOI (conjoined front end); use "
+            "api.compile(text, %r) for the full pipeline"
+            % (fe.name.upper(), fe.name)
         )
-    if not FRONTENDS:
-        _register_frontends()
-    return FRONTENDS[lang](text, name)
+    return fe.compile_frontend(text, name)
 
 
 def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
@@ -113,8 +79,10 @@ def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
             **backend_options):
     """Compile IDL *text* end to end; returns a CompiledInterface.
 
-    ``lang`` may be omitted (auto-detected from ``name``'s extension or
-    the text itself).  ``interface`` selects one interface when the file
+    ``text`` may be IDL source, ``.py`` pyschema source, a dataclass, an
+    ``@interface`` class, or a module object.  ``lang`` may be omitted
+    (auto-detected from ``name``'s extension, the text itself, or the
+    object's type).  ``interface`` selects one interface when the input
     defines several.  ``presentation``/``backend``/``flags`` override
     the language defaults, exactly as :class:`repro.core.Flick` does.
     ``renderer`` selects how the optimized marshal IR becomes codecs:
@@ -130,14 +98,9 @@ def compile(text, lang=None, *, interface=None, flags=None, name="<idl>",
     """
     from repro.core.compiler import Flick
 
-    lang = _check_lang(lang or detect_lang(text, name))
-    if lang == "mig":
-        return _compile_mig(
-            text, name=name, interface=interface, flags=flags,
-            backend=backend, renderer=renderer, **backend_options
-        )
+    fe = _resolve(text, lang, name)
     flick = Flick(
-        frontend=lang, presentation=presentation, backend=backend,
+        frontend=fe.name, presentation=presentation, backend=backend,
         flags=flags, renderer=renderer, **backend_options
     )
     return flick.compile(text, interface=interface, name=name)
@@ -149,52 +112,9 @@ def compile_all(text, lang=None, *, flags=None, name="<idl>",
     """Compile every interface in *text*; returns ``{name: result}``."""
     from repro.core.compiler import Flick
 
-    lang = _check_lang(lang or detect_lang(text, name))
-    if lang == "mig":
-        result = _compile_mig(
-            text, name=name, interface=None, flags=flags,
-            backend=backend, renderer=renderer, **backend_options
-        )
-        return {result.presc.interface_name: result}
+    fe = _resolve(text, lang, name)
     flick = Flick(
-        frontend=lang, presentation=presentation, backend=backend,
+        frontend=fe.name, presentation=presentation, backend=backend,
         flags=flags, renderer=renderer, **backend_options
     )
     return flick.compile_all(text, name=name)
-
-
-def _compile_mig(text, *, name, interface, flags, backend, renderer="py",
-                 **backend_options):
-    from repro.backend import make_backend
-    from repro.core.handle import CompiledInterface
-    from repro.core.options import OptFlags, RendererPolicy
-    from repro.mig.parser import parse_mig_idl
-    from repro.mig.to_presc import mig_to_presc
-
-    policy = RendererPolicy.coerce(renderer, **backend_options)
-    timings = {}
-    total_started = perf_counter()
-    phase_started = total_started
-    subsystem = parse_mig_idl(text, name)
-    timings["parse_s"] = perf_counter() - phase_started
-    phase_started = perf_counter()
-    presc = mig_to_presc(subsystem)
-    timings["present_s"] = perf_counter() - phase_started
-    if interface is not None and presc.interface_name != interface:
-        raise FlickError(
-            "MIG subsystem defines %r, not %r"
-            % (presc.interface_name, interface)
-        )
-    phase_started = perf_counter()
-    backend_instance = make_backend(
-        backend or _MIG_DEFAULT_BACKEND, **policy.options()
-    )
-    stubs = backend_instance.generate(
-        presc, policy.resolve_flags(flags or OptFlags()),
-        renderer=policy.renderer)
-    timings["emit_s"] = perf_counter() - phase_started
-    timings["total_s"] = perf_counter() - total_started
-    return CompiledInterface(
-        aoi=None, interface=None, presc=presc, stubs=stubs,
-        timings=timings, frontend="mig",
-    )

@@ -7,27 +7,35 @@ typedefs, sequences, bounded strings, fixed arrays, constants, and
 exceptions — and lowers the result to AOI.
 """
 
+import re
+
+from repro import frontends
 from repro.corba.parser import parse_corba_idl
 from repro.corba.to_aoi import corba_to_aoi
 
 
-def compile_corba_idl(text, name="<corba-idl>"):
-    """Parse CORBA IDL *text* and return a validated :class:`AoiRoot`.
+def _lower(specification, name):
+    from repro.aoi import validate
 
-    .. deprecated::
-        Use :func:`repro.api.parse` (front end only) or
-        :func:`repro.api.compile` (full pipeline) instead.
-    """
-    import warnings
+    return validate(corba_to_aoi(specification, name=name))
 
-    warnings.warn(
-        "compile_corba_idl is deprecated; use repro.api.parse(text, "
-        "'corba') or repro.api.compile(text, 'corba')",
-        DeprecationWarning, stacklevel=2,
-    )
-    from repro import api
 
-    return api.parse(text, "corba", name=name)
+frontends.register(frontends.FrontEnd(
+    name="corba",
+    description="CORBA 2.0 IDL (PLDI'97 section 2; GIOP/IIOP native)",
+    suffixes=(".idl",),
+    patterns=(
+        ("interface/module declaration",
+         re.compile(r"\b(?:interface|module)\s+\w+")),
+    ),
+    parse=parse_corba_idl,
+    lower=_lower,
+    priority=30,
+    presentation="corba-c",
+    sample="interface Probe { long poke(in long x); };\n",
+))
 
+compile_corba_idl = frontends.make_deprecated_shim(
+    "corba", "compile_corba_idl")
 
 __all__ = ["parse_corba_idl", "corba_to_aoi", "compile_corba_idl"]

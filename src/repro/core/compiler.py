@@ -3,9 +3,10 @@
 Ties the three phases together exactly as Figure 1 of the paper draws
 them: a front end parses IDL to AOI, a presentation generator maps AOI to
 PRES_C, and a back end turns PRES_C into stubs.  Any front end composes
-with any presentation generator and any back end (the MIG front end, which
-is conjoined with its own presentation, is handled by
-:mod:`repro.mig`).
+with any presentation generator and any back end.  Front ends come from
+the self-registering :mod:`repro.frontends` registry; conjoined front
+ends (MIG, whose ``lower`` phase yields PRES_C directly) skip the
+presentation phase.
 """
 
 from __future__ import annotations
@@ -15,23 +16,9 @@ from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.errors import FlickError
+from repro import frontends as frontend_registry
 from repro.core.options import OptFlags, RendererPolicy
 from repro.obs import trace
-
-#: Front-end registry: name -> callable(text, name) -> AoiRoot.
-FRONTENDS = {}
-
-#: Split front ends: name -> (parse(text, name) -> spec,
-#: lower(spec, name) -> validated AoiRoot).  Lets the driver time (and
-#: trace) parsing separately from AOI lowering; front ends absent here
-#: fall back to the fused FRONTENDS entry, reported as one "parse" phase.
-FRONTEND_PHASES = {}
-
-#: Default presentation style per front end.
-DEFAULT_PRESENTATION = {
-    "corba": "corba-c",
-    "oncrpc": "rpcgen",
-}
 
 #: Default back end per presentation style.
 DEFAULT_BACKEND = {
@@ -40,32 +27,6 @@ DEFAULT_BACKEND = {
     "rpcgen": "oncrpc-xdr",
     "fluke": "fluke",
 }
-
-
-def _register_frontends():
-    # Compose the phase functions directly rather than going through the
-    # deprecated compile_*_idl shims, so driving the pipeline never warns.
-    from repro.aoi import validate
-    from repro.corba import corba_to_aoi, parse_corba_idl
-    from repro.oncrpc import oncrpc_to_aoi, parse_oncrpc_idl
-
-    FRONTEND_PHASES["corba"] = (
-        parse_corba_idl,
-        lambda spec, name: validate(corba_to_aoi(spec, name=name)),
-    )
-    FRONTEND_PHASES["oncrpc"] = (
-        parse_oncrpc_idl,
-        lambda spec, name: validate(oncrpc_to_aoi(spec, name=name)),
-    )
-    for frontend, (parse_fn, lower) in FRONTEND_PHASES.items():
-        FRONTENDS[frontend] = _fuse_phases(parse_fn, lower)
-
-
-def _fuse_phases(parse_fn, lower):
-    def fused(text, name="<idl>"):
-        return lower(parse_fn(text, name), name)
-
-    return fused
 
 
 @dataclass
@@ -78,8 +39,8 @@ class CompileResult:
     stubs: object  # GeneratedStubs
     #: Per-phase wall-clock seconds: parse, aoi, present, emit, total.
     timings: Optional[Dict[str, float]] = None
-    #: The front end that produced this result ("corba", "oncrpc", "mig");
-    #: None for results built before the unified api facade existed.
+    #: The front end that produced this result ("corba", "oncrpc", "mig",
+    #: "pyschema"); None for results built before the unified api facade.
     frontend: Optional[str] = None
 
     def load_module(self):
@@ -113,16 +74,21 @@ class Flick:
 
     def __init__(self, frontend="corba", presentation=None, backend=None,
                  flags=None, renderer="py", **backend_options):
-        if not FRONTENDS:
-            _register_frontends()
-        if frontend not in FRONTENDS:
+        try:
+            self.fe = frontend_registry.get(frontend)
+        except FlickError:
             raise FlickError(
                 "unknown front end %r (have: %s)"
-                % (frontend, ", ".join(sorted(FRONTENDS)))
-            )
-        self.frontend = frontend
-        self.presentation = presentation or DEFAULT_PRESENTATION[frontend]
-        self.backend = backend or DEFAULT_BACKEND[self.presentation]
+                % (frontend, ", ".join(frontend_registry.names()))
+            ) from None
+        self.frontend = self.fe.name
+        if self.fe.has_aoi:
+            self.presentation = presentation or self.fe.presentation
+            self.backend = backend or DEFAULT_BACKEND[self.presentation]
+        else:
+            # Conjoined front ends carry their own presentation.
+            self.presentation = presentation
+            self.backend = backend or self.fe.backend
         # renderer accepts a name or a RendererPolicy; explicit
         # backend_options merge over the policy's own.
         self.policy = RendererPolicy.coerce(renderer, **backend_options)
@@ -134,7 +100,13 @@ class Flick:
 
     def parse(self, idl_text, name="<idl>"):
         """Run only the front end; returns the validated AoiRoot."""
-        return FRONTENDS[self.frontend](idl_text, name)
+        if not self.fe.has_aoi:
+            raise FlickError(
+                "%s bypasses AOI (conjoined front end); use "
+                "api.compile(text, %r) for the full pipeline"
+                % (self.frontend, self.frontend)
+            )
+        return self.fe.compile_frontend(idl_text, name)
 
     def present(self, aoi_root, interface_name=None, side="client"):
         """Run presentation generation for one interface."""
@@ -155,23 +127,18 @@ class Flick:
         from repro.backend import make_backend
         from repro.pgen import make_presentation
 
+        if not self.fe.has_aoi:
+            return self._compile_conjoined(idl_text, interface, name)
         timings = {}
         total_started = perf_counter()
-        phases = FRONTEND_PHASES.get(self.frontend)
         phase_started = total_started
-        if phases is not None:
-            parse_fn, lower = phases
-            with trace.span("compile.parse"):
-                specification = parse_fn(idl_text, name)
-            timings["parse_s"] = perf_counter() - phase_started
-            phase_started = perf_counter()
-            with trace.span("compile.aoi"):
-                aoi_root = lower(specification, name)
-            timings["aoi_s"] = perf_counter() - phase_started
-        else:
-            with trace.span("compile.parse"):
-                aoi_root = self.parse(idl_text, name)
-            timings["parse_s"] = perf_counter() - phase_started
+        with trace.span("compile.parse"):
+            specification = self.fe.parse(idl_text, name)
+        timings["parse_s"] = perf_counter() - phase_started
+        phase_started = perf_counter()
+        with trace.span("compile.aoi"):
+            aoi_root = self.fe.lower(specification, name)
+        timings["aoi_s"] = perf_counter() - phase_started
         picked = self._pick_interface(aoi_root, interface)
         phase_started = perf_counter()
         with trace.span("compile.present"):
@@ -192,8 +159,43 @@ class Flick:
             timings=timings, frontend=self.frontend,
         )
 
+    def _compile_conjoined(self, idl_text, interface, name):
+        """Conjoined path: ``lower`` yields PRES_C, no AOI phase."""
+        from repro.backend import make_backend
+        from repro.core.handle import CompiledInterface
+
+        timings = {}
+        total_started = perf_counter()
+        phase_started = total_started
+        with trace.span("compile.parse"):
+            specification = self.fe.parse(idl_text, name)
+        timings["parse_s"] = perf_counter() - phase_started
+        phase_started = perf_counter()
+        with trace.span("compile.present"):
+            presc = self.fe.lower(specification, name)
+        timings["present_s"] = perf_counter() - phase_started
+        if interface is not None and presc.interface_name != interface:
+            raise FlickError(
+                "%s subsystem defines %r, not %r"
+                % (self.frontend.upper(), presc.interface_name, interface)
+            )
+        phase_started = perf_counter()
+        with trace.span("compile.emit"):
+            backend = make_backend(self.backend, **self.backend_options)
+            stubs = backend.generate(presc, self.flags,
+                                     renderer=self.renderer)
+        timings["emit_s"] = perf_counter() - phase_started
+        timings["total_s"] = perf_counter() - total_started
+        return CompiledInterface(
+            aoi=None, interface=None, presc=presc, stubs=stubs,
+            timings=timings, frontend=self.frontend,
+        )
+
     def compile_all(self, idl_text, name="<idl>"):
         """Compile every interface; returns {interface name: result}."""
+        if not self.fe.has_aoi:
+            result = self.compile(idl_text, name=name)
+            return {result.presc.interface_name: result}
         aoi_root = self.parse(idl_text, name)
         results = {}
         for interface in aoi_root.interfaces:

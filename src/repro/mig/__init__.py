@@ -3,8 +3,9 @@
 MIG (the Mach Interface Generator) definitions contain constructs that are
 applicable only to C and to the Mach message system, so — as in the paper
 (section 2.1, Figure 1) — this front end is *conjoined* with its own
-presentation generator: :func:`compile_mig_idl` translates a MIG subsystem
-directly into PRES_C, bypassing AOI.
+presentation generator: it registers with ``has_aoi=False`` and its
+``lower`` phase translates a MIG subsystem directly into PRES_C,
+bypassing AOI.
 
 Supported subset::
 
@@ -15,27 +16,32 @@ Supported subset::
     simpleroutine poke(server : mach_port_t; value : int);
 """
 
+import re
+
+from repro import frontends
 from repro.mig.parser import parse_mig_idl
 from repro.mig.to_presc import mig_to_presc
 
 
-def compile_mig_idl(text, name="<mig-idl>"):
-    """Parse MIG *text* and return the PRES_C presentation directly.
+frontends.register(frontends.FrontEnd(
+    name="mig",
+    description="Mach Interface Generator (conjoined: lowers to PRES_C)",
+    suffixes=(".defs",),
+    patterns=(
+        ("subsystem declaration",
+         re.compile(r"^\s*subsystem\s+\w+", re.MULTILINE)),
+    ),
+    parse=parse_mig_idl,
+    lower=lambda subsystem, name: mig_to_presc(subsystem),
+    has_aoi=False,
+    priority=10,
+    backend="mach3",
+    servable=False,
+    diff_protocols=("mach3",),
+    sample=("subsystem probe 4300;\n"
+            "routine poke(server : mach_port_t; value : int);\n"),
+))
 
-    .. deprecated::
-        Use :func:`repro.api.compile` — it runs the conjoined MIG
-        pipeline end to end and returns a CompileResult whose ``presc``
-        is this function's return value.
-    """
-    import warnings
-
-    warnings.warn(
-        "compile_mig_idl is deprecated; use repro.api.compile(text, "
-        "'mig') and read .presc from the result",
-        DeprecationWarning, stacklevel=2,
-    )
-    subsystem = parse_mig_idl(text, name)
-    return mig_to_presc(subsystem)
-
+compile_mig_idl = frontends.make_deprecated_shim("mig", "compile_mig_idl")
 
 __all__ = ["compile_mig_idl", "parse_mig_idl", "mig_to_presc"]

@@ -13,27 +13,36 @@ the language the paper's Mail example uses:
     } = 0x20000001;
 """
 
+import re
+
+from repro import frontends
 from repro.oncrpc.parser import parse_oncrpc_idl
 from repro.oncrpc.to_aoi import oncrpc_to_aoi
 
 
-def compile_oncrpc_idl(text, name="<oncrpc-idl>"):
-    """Parse ONC RPC IDL *text* and return a validated :class:`AoiRoot`.
+def _lower(specification, name):
+    from repro.aoi import validate
 
-    .. deprecated::
-        Use :func:`repro.api.parse` (front end only) or
-        :func:`repro.api.compile` (full pipeline) instead.
-    """
-    import warnings
+    return validate(oncrpc_to_aoi(specification, name=name))
 
-    warnings.warn(
-        "compile_oncrpc_idl is deprecated; use repro.api.parse(text, "
-        "'oncrpc') or repro.api.compile(text, 'oncrpc')",
-        DeprecationWarning, stacklevel=2,
-    )
-    from repro import api
 
-    return api.parse(text, "oncrpc", name=name)
+frontends.register(frontends.FrontEnd(
+    name="oncrpc",
+    description="ONC RPC / XDR (RFC 1831/1832 + rpcgen programs)",
+    suffixes=(".x",),
+    patterns=(
+        ("program/version block",
+         re.compile(r"\b(?:program|version)\s+\w+\s*\{")),
+    ),
+    parse=parse_oncrpc_idl,
+    lower=_lower,
+    priority=20,
+    presentation="rpcgen",
+    sample=("program Probe { version ProbeV { int poke(int) = 1; }"
+            " = 1; } = 0x20009999;\n"),
+))
 
+compile_oncrpc_idl = frontends.make_deprecated_shim(
+    "oncrpc", "compile_oncrpc_idl")
 
 __all__ = ["parse_oncrpc_idl", "oncrpc_to_aoi", "compile_oncrpc_idl"]

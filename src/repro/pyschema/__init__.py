@@ -1,0 +1,141 @@
+"""The native-Python dataclass schema front end.
+
+Derives AOI directly from annotated Python dataclasses — no separate IDL
+file.  Field types map per the table in docs/INTERNALS.md section 15:
+``Annotated`` bounds (:class:`Len`, :class:`Fixed`), fixed-width aliases
+(``i8``..``u64``, ``f32``/``f64``, ``octet``, ``char``), discriminated
+unions via ``Annotated[Union[...], Tag(...)]``, nested dataclasses, and
+``Optional`` pointers.  ``api.compile`` accepts a dataclass, a module
+object, an :func:`interface` class, or ``.py`` source text:
+
+.. code-block:: python
+
+    from dataclasses import dataclass
+    from repro import pyschema
+    from repro.pyschema import i32, Len
+    from typing import Annotated
+
+    @pyschema.interface
+    class Mail:
+        def send(self, msg: Annotated[str, Len(1024)], urgency: i32) -> None: ...
+        def check(self, user: Annotated[str, Len(64)]) -> i32: ...
+
+    handle = api.compile(Mail, backend="iiop")
+
+The generated stubs are byte-identical on the wire to the equivalent
+hand-written top-level CORBA IDL (same repository id, same operation
+request codes, same structural types), so a dataclass schema can replace
+an IDL file without a protocol break — ``flick diff old.idl new.py``
+proves it.
+"""
+
+import dataclasses as _dataclasses
+import re
+import types as _types
+
+from repro import frontends
+from repro.pyschema.to_aoi import (
+    CHAR,
+    OCTET,
+    Annotated,
+    Fixed,
+    Float,
+    Int,
+    Len,
+    PySchemaSpec,
+    Tag,
+    char,
+    exception,
+    f32,
+    f64,
+    i8,
+    i16,
+    i32,
+    i64,
+    interface,
+    octet,
+    oneway,
+    parse_pyschema,
+    pyschema_to_aoi,
+    raises,
+    u8,
+    u16,
+    u32,
+    u64,
+)
+
+_SAMPLE = """\
+from dataclasses import dataclass
+from repro.pyschema import interface, i32
+
+@interface
+class Probe:
+    def poke(self, x: i32) -> i32: ...
+"""
+
+
+def _lower(spec, name):
+    from repro.aoi import validate
+
+    return validate(pyschema_to_aoi(spec, name=name))
+
+
+def _accepts(obj):
+    if isinstance(obj, _types.ModuleType):
+        return True
+    return isinstance(obj, type) and (
+        _dataclasses.is_dataclass(obj)
+        or "__flick_interface__" in vars(obj)
+    )
+
+
+frontends.register(frontends.FrontEnd(
+    name="pyschema",
+    description="Annotated Python dataclasses (native-Python schemas)",
+    suffixes=(".py",),
+    patterns=(
+        ("@interface/@dataclass decorator",
+         re.compile(r"@(?:[\w.]+\.)?(?:interface|dataclass)\b")),
+        ("dataclasses/repro.pyschema import",
+         re.compile(r"^\s*(?:from|import)\s+(?:repro\.pyschema|dataclasses)"
+                    r"\b", re.MULTILINE)),
+    ),
+    parse=parse_pyschema,
+    lower=_lower,
+    # Sniff before CORBA: its permissive `interface <word>` pattern also
+    # matches Python source containing `@interface` + a class statement.
+    priority=25,
+    presentation="corba-c",
+    accepts_object=_accepts,
+    sample=_SAMPLE,
+))
+
+__all__ = [
+    "Annotated",
+    "CHAR",
+    "Fixed",
+    "Float",
+    "Int",
+    "Len",
+    "OCTET",
+    "PySchemaSpec",
+    "Tag",
+    "char",
+    "exception",
+    "f32",
+    "f64",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "interface",
+    "octet",
+    "oneway",
+    "parse_pyschema",
+    "pyschema_to_aoi",
+    "raises",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+]

@@ -41,6 +41,23 @@ import sys
 from repro.errors import FlickError
 
 
+def _lang_choices():
+    """Registered front-end names (the registry is the only source)."""
+    from repro import frontends
+
+    return frontends.names()
+
+
+def _aoi_lang_choices():
+    """Front ends with an AOI (diffable/bridgeable over TCP protocols)."""
+    from repro import frontends
+
+    return tuple(
+        fe.name for fe in frontends.all_frontends()
+        if fe.has_aoi and fe.servable
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flick",
@@ -54,7 +71,7 @@ def build_parser():
     )
     compile_parser.add_argument("input", help="IDL source file")
     compile_parser.add_argument(
-        "--frontend", choices=("corba", "oncrpc", "mig"), default=None,
+        "--frontend", choices=_lang_choices(), default=None,
         help="IDL front end (default: guessed from the file suffix)",
     )
     compile_parser.add_argument(
@@ -112,7 +129,7 @@ def build_parser():
     )
     ir_parser.add_argument("input", help="IDL source file")
     ir_parser.add_argument(
-        "--frontend", choices=("corba", "oncrpc", "mig"), default=None,
+        "--frontend", choices=_lang_choices(), default=None,
         help="IDL front end (default: guessed from the file suffix)",
     )
     ir_parser.add_argument("--pgen", default=None)
@@ -248,8 +265,10 @@ def build_parser():
     diff_parser.add_argument("old", help="the currently deployed IDL file")
     diff_parser.add_argument("new", help="the proposed IDL file")
     diff_parser.add_argument(
-        "--lang", choices=("corba", "oncrpc", "mig"), default=None,
-        help="IDL language (default: detected per file)",
+        "--lang", choices=_lang_choices(), default=None,
+        help="IDL language (default: detected per file; the two files"
+             " may use different languages, e.g. diff an IDL file"
+             " against the pyschema .py replacing it)",
     )
     diff_parser.add_argument(
         "--interface", default=None,
@@ -272,7 +291,7 @@ def build_parser():
     )
     lint_parser.add_argument("input", help="IDL source file")
     lint_parser.add_argument(
-        "--lang", choices=("corba", "oncrpc", "mig"), default=None,
+        "--lang", choices=_lang_choices(), default=None,
         help="IDL language (default: detected)",
     )
     lint_parser.add_argument("--interface", default=None)
@@ -314,7 +333,7 @@ def build_parser():
         help="egress wire protocol (default: oncrpc-xdr)",
     )
     bridge_parser.add_argument(
-        "--lang", choices=("corba", "oncrpc"), default=None,
+        "--lang", choices=_aoi_lang_choices(), default=None,
         help="IDL language (default: detected per file)",
     )
     bridge_parser.add_argument("--interface", default=None)
@@ -343,7 +362,7 @@ def build_parser():
              " ingress file; set during migrations)",
     )
     gateway_parser.add_argument(
-        "--lang", choices=("corba", "oncrpc"), default=None,
+        "--lang", choices=_aoi_lang_choices(), default=None,
         help="IDL language (default: detected)",
     )
     gateway_parser.add_argument("--interface", default=None)
@@ -542,7 +561,7 @@ def command_compile(args):
             )
         backend_options["little_endian"] = True
     flags = _build_flags(args)
-    if args.interface or lang == "mig":
+    if args.interface:
         results = [api.compile(
             text, lang, interface=args.interface, flags=flags,
             name=args.input, presentation=args.pgen, backend=args.backend,
@@ -754,13 +773,13 @@ def _load_servant(spec, stub_module):
 
 
 def _compile_for_serving(args, text):
-    from repro import api
+    from repro import api, frontends
 
     lang = _guess_frontend(args.input, text, args.frontend)
-    if lang == "mig":
+    if not frontends.get(lang).servable:
         raise FlickError(
             "serve carries TCP protocols only (iiop, oncrpc-xdr);"
-            " MIG subsystems target kernel IPC"
+            " %s interfaces target kernel IPC" % lang.upper()
         )
     if args.interface:
         result = api.compile(
@@ -1032,20 +1051,31 @@ def command_diff(args):
         old_text = handle.read()
     with open(args.new) as handle:
         new_text = handle.read()
-    lang = args.lang
-    if lang is None:
+    from repro import frontends
+
+    # Each side detects independently: a migration can diff an IDL file
+    # against the pyschema .py that replaces it.
+    old_lang = new_lang = args.lang
+    if args.lang is None:
         try:
-            lang = api.detect_lang(old_text, name=args.old)
+            old_lang = api.detect_lang(old_text, name=args.old)
         except FlickError:
-            lang = None
+            old_lang = None
+        try:
+            new_lang = api.detect_lang(new_text, name=args.new)
+        except FlickError:
+            new_lang = None
+    lang = old_lang if old_lang == new_lang else None
     if args.protocol:
         protocols = tuple(args.protocol)
-    elif lang == "mig":
-        protocols = ("mach3",)
     else:
-        from repro.compat.ifacediff import DEFAULT_PROTOCOLS
+        fe = frontends.get(old_lang) if old_lang else None
+        if fe is not None and fe.diff_protocols:
+            protocols = fe.diff_protocols
+        else:
+            from repro.compat.ifacediff import DEFAULT_PROTOCOLS
 
-        protocols = DEFAULT_PROTOCOLS
+            protocols = DEFAULT_PROTOCOLS
     diffs = diff_texts(
         old_text, new_text, lang, interface=args.interface,
         protocols=protocols, old_name=args.old, new_name=args.new,
@@ -1647,11 +1677,16 @@ def command_top(args):
 
 
 def command_list(_args):
+    from repro import frontends
     from repro.backend import BACKENDS
     from repro.pgen import PRESENTATIONS
     from repro.compilers import BASELINES
 
-    print("front ends:     corba, oncrpc, mig")
+    print("front ends:     %s" % ", ".join(frontends.names()))
+    for fe in frontends.all_frontends():
+        print("  %-10s %s (suffixes: %s%s)"
+              % (fe.name, fe.description, ", ".join(fe.suffixes),
+                 "" if fe.has_aoi else "; conjoined, no AOI"))
     print("presentations:  %s" % ", ".join(sorted(PRESENTATIONS)))
     print("back ends:      %s" % ", ".join(sorted(BACKENDS)))
     print("baselines:      %s" % ", ".join(sorted(BASELINES)))

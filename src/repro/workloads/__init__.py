@@ -18,6 +18,7 @@ directory entries.
 from repro.workloads.definitions import (
     BENCH_IDL_CORBA,
     BENCH_IDL_ONC,
+    BENCH_PYSCHEMA,
     DIR_ENTRY_ENCODED_SIZE,
     DIR_NAME_LENGTH,
     INT_SIZES,
@@ -34,6 +35,7 @@ from repro.workloads.definitions import (
 __all__ = [
     "BENCH_IDL_CORBA",
     "BENCH_IDL_ONC",
+    "BENCH_PYSCHEMA",
     "DIR_ENTRY_ENCODED_SIZE",
     "DIR_NAME_LENGTH",
     "DIR_SIZES",

@@ -52,6 +52,52 @@ program BENCH {
 } = 0x20000042;
 """
 
+#: The same contract as a native-Python dataclass schema (drives the
+#: pyschema front end; record names mirror the ONC source so the value
+#: builders below apply with ``record_prefix=""``).
+BENCH_PYSCHEMA = '''
+from dataclasses import dataclass
+from typing import Annotated
+
+from repro.pyschema import Fixed, i32, interface
+
+
+@dataclass
+class coord:
+    x: i32
+    y: i32
+
+
+@dataclass
+class rect:
+    ul: coord
+    lr: coord
+
+
+@dataclass
+class stat_info:
+    f00: i32; f01: i32; f02: i32; f03: i32; f04: i32
+    f05: i32; f06: i32; f07: i32; f08: i32; f09: i32
+    f10: i32; f11: i32; f12: i32; f13: i32; f14: i32
+    f15: i32; f16: i32; f17: i32; f18: i32; f19: i32
+    f20: i32; f21: i32; f22: i32; f23: i32; f24: i32
+    f25: i32; f26: i32; f27: i32; f28: i32; f29: i32
+    tag: Annotated[bytes, Fixed(16)]
+
+
+@dataclass
+class dirent:
+    name: str
+    st: stat_info
+
+
+@interface
+class Bench:
+    def ints(self, a: list[i32]) -> None: ...
+    def rects(self, a: list[rect]) -> None: ...
+    def dirents(self, a: list[dirent]) -> None: ...
+'''
+
 #: MIG can only express the integer-array method (paper, Figure 7).
 MIG_BENCH_IDL = """
 subsystem bench 4400;
